@@ -1,0 +1,303 @@
+//! # sp-attack
+//!
+//! Empirical privacy auditing for published graph embeddings,
+//! instantiating the paper's threat model (§III-A): a **white-box
+//! adversary** holds the published model (`Θ = {W_in, W_out}` or just
+//! the embedding matrix), knows the training procedure, and wants to
+//! infer whether a target record (an edge, or a node's entire
+//! adjacency) was present in the training graph.
+//!
+//! Two attacks:
+//!
+//! - [`edge_membership`]: scores candidate node pairs by the
+//!   embedding's own link statistic (`v_i · v_j`); the attack AUC over
+//!   (train-edge, non-edge) candidates measures how much edge
+//!   membership leaks through the embedding. For a well-trained
+//!   *non-private* skip-gram this is far above chance by construction
+//!   — the objective literally fits that statistic — and the DP noise
+//!   should push it toward 1/2.
+//! - [`node_membership`]: a shadow-statistic attack on node presence —
+//!   the adversary compares a target node's embedding-neighbourhood
+//!   coherence (mean similarity to the embeddings of its known
+//!   neighbours) against the same statistic for nodes it knows are
+//!   absent-equivalent (random pairings).
+//!
+//! These attacks are *audits*, not upper bounds: low attack AUC does
+//! not prove privacy, but attack AUC ≈ ½ across seeds is the standard
+//! sanity evidence that a DP implementation is not catastrophically
+//! broken, and the gap non-private-vs-private is the paper's
+//! motivation made measurable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::Rng;
+use sp_eval::auc_from_scores;
+use sp_graph::{Graph, NodeId};
+use sp_linalg::{vector, DenseMatrix};
+
+/// Result of a membership-inference audit.
+#[derive(Clone, Copy, Debug)]
+pub struct AttackReport {
+    /// Attack AUC: 0.5 = no leakage signal, 1.0 = full leakage.
+    pub auc: f64,
+    /// Positive (member) candidates scored.
+    pub members: usize,
+    /// Negative (non-member) candidates scored.
+    pub non_members: usize,
+}
+
+/// Advantage over random guessing: `2·|AUC − ½|` (in `[0, 1]`).
+impl AttackReport {
+    /// Attack advantage `2|AUC - 0.5|`.
+    pub fn advantage(&self) -> f64 {
+        (self.auc - 0.5).abs() * 2.0
+    }
+}
+
+/// Edge-membership inference with a caller-supplied score: the most
+/// general white-box form — the adversary may combine *everything*
+/// that was published (for skip-gram, both `W_in` and `W_out`:
+/// `score(u,v) = v_u·w_v + v_v·w_u`, the statistic the objective
+/// literally fit).
+pub fn edge_membership_scored<R, F>(
+    g: &Graph,
+    score: F,
+    n_candidates: usize,
+    rng: &mut R,
+) -> AttackReport
+where
+    R: Rng + ?Sized,
+    F: Fn(NodeId, NodeId) -> f64,
+{
+    assert!(g.num_edges() > 0, "no edges to attack");
+    let n = n_candidates.min(g.num_edges());
+    let member_idx = rand::seq::index::sample(rng, g.num_edges(), n);
+    let members: Vec<f64> = member_idx
+        .iter()
+        .map(|e| {
+            let (u, v) = g.edges()[e];
+            score(u, v)
+        })
+        .collect();
+    let non_edges = sp_eval::sample_non_edges(g, n, rng);
+    let non_members: Vec<f64> = non_edges.iter().map(|&(u, v)| score(u, v)).collect();
+    AttackReport {
+        auc: auc_from_scores(&members, &non_members).unwrap_or(0.5),
+        members: members.len(),
+        non_members: non_members.len(),
+    }
+}
+
+/// Edge-membership inference against a single embedding matrix,
+/// scoring candidates by the inner product of the endpoint rows.
+///
+/// # Panics
+/// Panics if the graph has no edges or the embedding shape mismatches.
+pub fn edge_membership<R: Rng + ?Sized>(
+    g: &Graph,
+    emb: &DenseMatrix,
+    n_candidates: usize,
+    rng: &mut R,
+) -> AttackReport {
+    assert_eq!(emb.rows(), g.num_nodes(), "embedding shape mismatch");
+    edge_membership_scored(
+        g,
+        |u, v| vector::dot(emb.row(u as usize), emb.row(v as usize)),
+        n_candidates,
+        rng,
+    )
+}
+
+/// Node-membership inference via neighbourhood coherence: for each
+/// probed node, the statistic is the mean cosine similarity between
+/// its embedding and its (adversary-known) neighbours' embeddings;
+/// the negative class pairs each probed node with an equal number of
+/// random non-neighbours.
+pub fn node_membership<R: Rng + ?Sized>(
+    g: &Graph,
+    emb: &DenseMatrix,
+    n_probes: usize,
+    rng: &mut R,
+) -> AttackReport {
+    assert_eq!(emb.rows(), g.num_nodes(), "embedding shape mismatch");
+    let candidates: Vec<NodeId> = (0..g.num_nodes() as NodeId)
+        .filter(|&v| g.degree(v) >= 1)
+        .collect();
+    assert!(!candidates.is_empty(), "no non-isolated nodes to probe");
+    let mut members = Vec::new();
+    let mut non_members = Vec::new();
+    for _ in 0..n_probes {
+        let v = candidates[rng.gen_range(0..candidates.len())];
+        members.push(neighborhood_coherence(g, emb, v, true, rng));
+        non_members.push(neighborhood_coherence(g, emb, v, false, rng));
+    }
+    AttackReport {
+        auc: auc_from_scores(&members, &non_members).unwrap_or(0.5),
+        members: members.len(),
+        non_members: non_members.len(),
+    }
+}
+
+/// Mean cosine similarity between `v` and either its true neighbours
+/// (`real = true`) or an equal number of random distinct non-
+/// neighbours (`real = false`).
+fn neighborhood_coherence<R: Rng + ?Sized>(
+    g: &Graph,
+    emb: &DenseMatrix,
+    v: NodeId,
+    real: bool,
+    rng: &mut R,
+) -> f64 {
+    let deg = g.degree(v).max(1);
+    let mut acc = 0.0;
+    let mut count = 0usize;
+    if real {
+        for &u in g.neighbors(v) {
+            acc += cosine(emb.row(v as usize), emb.row(u as usize));
+            count += 1;
+        }
+    } else {
+        while count < deg {
+            if let Some(u) = g.random_non_neighbor(v, rng) {
+                acc += cosine(emb.row(v as usize), emb.row(u as usize));
+                count += 1;
+            } else {
+                break;
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        acc / count as f64
+    }
+}
+
+fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let na = vector::norm2(a);
+    let nb = vector::norm2(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    vector::dot(a, b) / (na * nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sp_datasets::generators;
+
+    fn graph() -> Graph {
+        let mut rng = StdRng::seed_from_u64(1);
+        generators::barabasi_albert(150, 4, &mut rng)
+    }
+
+    /// Oracle embedding that memorises adjacency exactly: rows of
+    /// `A + I`. Inner products of edges are >= 2, non-edges usually 0.
+    fn oracle_embedding(g: &Graph) -> DenseMatrix {
+        let n = g.num_nodes();
+        let mut m = DenseMatrix::zeros(n, n);
+        for &(u, v) in g.edges() {
+            m.set(u as usize, v as usize, 1.0);
+            m.set(v as usize, u as usize, 1.0);
+        }
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    #[test]
+    fn edge_attack_breaks_memorising_embedding() {
+        let g = graph();
+        let emb = oracle_embedding(&g);
+        let mut rng = StdRng::seed_from_u64(2);
+        let rep = edge_membership(&g, &emb, 300, &mut rng);
+        assert!(rep.auc > 0.95, "oracle should leak: AUC {}", rep.auc);
+        assert!(rep.advantage() > 0.9);
+    }
+
+    #[test]
+    fn edge_attack_near_chance_on_random_embedding() {
+        let g = graph();
+        let mut rng = StdRng::seed_from_u64(3);
+        let emb = DenseMatrix::uniform(g.num_nodes(), 16, -1.0, 1.0, &mut rng);
+        let rep = edge_membership(&g, &emb, 300, &mut rng);
+        assert!(
+            (rep.auc - 0.5).abs() < 0.12,
+            "random embedding should not leak: AUC {}",
+            rep.auc
+        );
+    }
+
+    #[test]
+    fn node_attack_breaks_memorising_embedding() {
+        let g = graph();
+        let emb = oracle_embedding(&g);
+        let mut rng = StdRng::seed_from_u64(4);
+        let rep = node_membership(&g, &emb, 150, &mut rng);
+        assert!(rep.auc > 0.9, "oracle node attack AUC {}", rep.auc);
+    }
+
+    #[test]
+    fn node_attack_near_chance_on_random_embedding() {
+        let g = graph();
+        let mut rng = StdRng::seed_from_u64(5);
+        let emb = DenseMatrix::uniform(g.num_nodes(), 16, -1.0, 1.0, &mut rng);
+        let rep = node_membership(&g, &emb, 150, &mut rng);
+        assert!((rep.auc - 0.5).abs() < 0.12, "AUC {}", rep.auc);
+    }
+
+    #[test]
+    fn attack_counts_are_reported() {
+        let g = graph();
+        let emb = oracle_embedding(&g);
+        let mut rng = StdRng::seed_from_u64(6);
+        let rep = edge_membership(&g, &emb, 50, &mut rng);
+        assert_eq!(rep.members, 50);
+        assert_eq!(rep.non_members, 50);
+    }
+
+    #[test]
+    fn dp_training_reduces_edge_leakage_vs_nonprivate() {
+        use se_privgemb::{PerturbStrategy, ProximityKind, SePrivGEmb};
+        let g = graph();
+        // White-box attack: the adversary holds Θ = {W_in, W_out} and
+        // scores pairs with the exact statistic the objective fitted.
+        let attack = |strategy: PerturbStrategy, sigma: f64| {
+            let mut b = SePrivGEmb::builder()
+                .dim(32)
+                .epochs(300)
+                .learning_rate(0.3)
+                .strategy(strategy)
+                .proximity(ProximityKind::deepwalk_default())
+                .seed(7);
+            if strategy.is_private() {
+                b = b.sigma(sigma).epsilon(3.5);
+            }
+            let result = b.build().fit(&g);
+            let model = &result.model;
+            let mut rng = StdRng::seed_from_u64(8);
+            edge_membership_scored(
+                &g,
+                |u, v| model.inner(u, v) + model.inner(v, u),
+                300,
+                &mut rng,
+            )
+            .auc
+        };
+        let leak_nonpriv = attack(PerturbStrategy::None, 0.0);
+        let leak_priv = attack(PerturbStrategy::NonZero, 8.0);
+        assert!(
+            leak_nonpriv > leak_priv,
+            "DP noise should reduce attack AUC: {leak_nonpriv} vs {leak_priv}"
+        );
+        assert!(
+            leak_nonpriv > 0.7,
+            "non-private skip-gram must leak edges strongly through Θ: {leak_nonpriv}"
+        );
+    }
+}

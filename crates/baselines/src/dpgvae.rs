@@ -1,0 +1,232 @@
+//! DPGVAE stand-in: variational graph autoencoder with DP-SGD.
+//!
+//! The variational sibling of DPGGAN (Yang et al., IJCAI'21): the
+//! encoder produces a per-node Gaussian posterior `N(μ_v, e^{lv_v})`,
+//! latents are drawn with the reparameterisation trick, the decoder is
+//! the usual inner product, and the loss adds a KL regulariser pulling
+//! the posterior towards `N(0, I)`. Privacy: per-pair DP-SGD on the
+//! full encoder (trunk + both heads) — joint clip, Gaussian noise,
+//! subsampled RDP accounting with early stop.
+
+use crate::common::{BaselineConfig, EmbedReport, Embedder};
+use crate::dpggan::{random_non_edge, sketch_features, stack_rows};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sp_dp::{BudgetedAccountant, GaussianSampler, PrivacyBudget};
+use sp_graph::Graph;
+use sp_linalg::{vector, DenseMatrix};
+use sp_nn::{Activation, Mlp};
+
+/// Width of the random-projection input sketch.
+const SKETCH_DIM: usize = 128;
+/// Trunk hidden width.
+const HIDDEN: usize = 64;
+/// KL weight (β-VAE style down-weighting keeps reconstruction the
+/// dominant signal, as in the reference implementation's defaults).
+const KL_WEIGHT: f64 = 0.05;
+
+/// The DPGVAE baseline.
+#[derive(Clone, Debug)]
+pub struct DpgVae {
+    config: BaselineConfig,
+}
+
+impl DpgVae {
+    /// New instance; panics on invalid config.
+    pub fn new(config: BaselineConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid BaselineConfig: {e}");
+        }
+        Self { config }
+    }
+}
+
+impl Embedder for DpgVae {
+    fn name(&self) -> &'static str {
+        "DPGVAE"
+    }
+
+    fn embed(&self, g: &Graph) -> (DenseMatrix, EmbedReport) {
+        let cfg = &self.config;
+        assert!(g.num_edges() > 0, "cannot embed an edgeless graph");
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x0A0E);
+        let features = sketch_features(g, SKETCH_DIM, &mut rng);
+
+        let mut trunk = Mlp::new(
+            &[SKETCH_DIM, HIDDEN],
+            &[Activation::Tanh],
+            &mut rng,
+        );
+        let mut head_mu = Mlp::new(&[HIDDEN, cfg.dim], &[Activation::Identity], &mut rng);
+        let mut head_lv = Mlp::new(&[HIDDEN, cfg.dim], &[Activation::Identity], &mut rng);
+
+        let batch = cfg.batch.min(g.num_edges());
+        let gamma = (batch as f64 / g.num_edges() as f64).min(1.0);
+        let mut accountant = BudgetedAccountant::new(
+            PrivacyBudget::new(cfg.epsilon, cfg.delta),
+            gamma,
+            cfg.sigma,
+        );
+        let steps_per_epoch = g.num_edges().div_ceil(batch);
+        let noise_std = cfg.clip * cfg.sigma;
+        let mut noise = GaussianSampler::new();
+
+        let mut epochs_run = 0usize;
+        let mut stopped = false;
+
+        'outer: for _epoch in 0..cfg.epochs {
+            for _ in 0..steps_per_epoch {
+                if !accountant.try_step() {
+                    stopped = true;
+                    break 'outer;
+                }
+                let idx = rand::seq::index::sample(&mut rng, g.num_edges(), batch);
+                for e in idx.iter() {
+                    let (u, v) = g.edges()[e];
+                    let (nu, nv) = random_non_edge(g, &mut rng);
+                    let x = stack_rows(&features, &[u, v, nu, nv]);
+
+                    // Forward: trunk -> (mu, logvar) -> reparameterised z.
+                    let h = trunk.forward(&x);
+                    let mu = head_mu.forward(&h);
+                    let lv = head_lv.forward(&h);
+                    let mut eps = DenseMatrix::zeros(4, cfg.dim);
+                    noise.fill_slice(eps.as_mut_slice(), 1.0, &mut rng);
+                    let mut z = mu.clone();
+                    for i in 0..z.as_slice().len() {
+                        z.as_mut_slice()[i] +=
+                            (0.5 * lv.as_slice()[i]).exp() * eps.as_slice()[i];
+                    }
+
+                    // Reconstruction gradients (BCE on inner products).
+                    let g_pos = vector::sigmoid(vector::dot(z.row(0), z.row(1))) - 1.0;
+                    let g_neg = vector::sigmoid(vector::dot(z.row(2), z.row(3)));
+                    let mut dz = DenseMatrix::zeros(4, cfg.dim);
+                    vector::axpy(g_pos, z.row(1), dz.row_mut(0));
+                    vector::axpy(g_pos, z.row(0), dz.row_mut(1));
+                    vector::axpy(g_neg, z.row(3), dz.row_mut(2));
+                    vector::axpy(g_neg, z.row(2), dz.row_mut(3));
+
+                    // Chain rule through the reparameterisation plus KL.
+                    let mut dmu = dz.clone();
+                    let mut dlv = DenseMatrix::zeros(4, cfg.dim);
+                    let count = dz.as_slice().len().max(1) as f64;
+                    for i in 0..dz.as_slice().len() {
+                        let std = (0.5 * lv.as_slice()[i]).exp();
+                        dlv.as_mut_slice()[i] =
+                            dz.as_slice()[i] * eps.as_slice()[i] * std * 0.5;
+                        // KL terms: dKL/dμ = μ/n, dKL/dlv = (e^lv - 1)/(2n).
+                        dmu.as_mut_slice()[i] += KL_WEIGHT * mu.as_slice()[i] / count;
+                        dlv.as_mut_slice()[i] +=
+                            KL_WEIGHT * (lv.as_slice()[i].exp() - 1.0) / (2.0 * count);
+                    }
+
+                    // Backward through heads into the trunk.
+                    let dh_mu = head_mu.backward(&dmu);
+                    let dh_lv = head_lv.backward(&dlv);
+                    let mut dh = dh_mu;
+                    dh.add_scaled(1.0, &dh_lv);
+                    trunk.backward(&dh);
+
+                    // Joint clip across trunk + heads, then flush.
+                    let joint = (trunk.grad_norm().powi(2)
+                        + head_mu.grad_norm().powi(2)
+                        + head_lv.grad_norm().powi(2))
+                    .sqrt();
+                    if joint > cfg.clip {
+                        let f = cfg.clip / joint;
+                        scale_all(&mut trunk, f);
+                        scale_all(&mut head_mu, f);
+                        scale_all(&mut head_lv, f);
+                    }
+                    trunk.flush_grads();
+                    head_mu.flush_grads();
+                    head_lv.flush_grads();
+                }
+                trunk.add_noise(noise_std, &mut noise, &mut rng);
+                head_mu.add_noise(noise_std, &mut noise, &mut rng);
+                head_lv.add_noise(noise_std, &mut noise, &mut rng);
+                trunk.step_sgd(cfg.lr, batch);
+                head_mu.step_sgd(cfg.lr, batch);
+                head_lv.step_sgd(cfg.lr, batch);
+            }
+            epochs_run += 1;
+        }
+
+        // Embeddings = posterior means.
+        let h = trunk.predict(&features);
+        let emb = head_mu.predict(&h);
+        let (eps_spent, _) = accountant.spent();
+        (
+            emb,
+            EmbedReport {
+                method: self.name(),
+                epsilon_spent: eps_spent,
+                epochs_run,
+                stopped_by_budget: stopped,
+            },
+        )
+    }
+}
+
+/// Scales per-example gradients of every layer in an MLP (clip helper;
+/// `Mlp::clip_grads` clips per-network, the VAE needs a *joint* clip
+/// across three networks).
+fn scale_all(mlp: &mut Mlp, f: f64) {
+    // Implemented via the public clip API: clipping to `current * f`
+    // norm scales by exactly f when f < 1.
+    let n = mlp.grad_norm();
+    if n > 0.0 && f < 1.0 {
+        mlp.clip_grads(n * f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use sp_datasets::generators;
+
+    fn test_graph() -> Graph {
+        let mut rng = StdRng::seed_from_u64(2);
+        generators::barabasi_albert(100, 3, &mut rng)
+    }
+
+    fn quick_config() -> BaselineConfig {
+        BaselineConfig {
+            dim: 12,
+            epochs: 2,
+            batch: 16,
+            ..BaselineConfig::default()
+        }
+    }
+
+    #[test]
+    fn embed_shape_and_budget() {
+        let g = test_graph();
+        let (emb, rep) = DpgVae::new(quick_config()).embed(&g);
+        assert_eq!(emb.shape(), (100, 12));
+        assert_eq!(rep.method, "DPGVAE");
+        assert!(rep.epsilon_spent > 0.0);
+        assert!(emb.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = test_graph();
+        let (a, _) = DpgVae::new(quick_config()).embed(&g);
+        let (b, _) = DpgVae::new(quick_config()).embed(&g);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn budget_exhaustion_stops_training() {
+        let g = test_graph();
+        let mut cfg = quick_config();
+        cfg.epsilon = 0.02;
+        cfg.sigma = 1.0;
+        cfg.epochs = 50;
+        let (_, rep) = DpgVae::new(cfg).embed(&g);
+        assert!(rep.stopped_by_budget);
+    }
+}

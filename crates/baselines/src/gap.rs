@@ -1,0 +1,227 @@
+//! GAP stand-in: differentially private GNN via aggregation
+//! perturbation.
+//!
+//! GAP (Sajadmanesh et al., USENIX Security'23) makes the *neighbour
+//! aggregation* step private: each hop's aggregate matrix is row-wise
+//! bounded and Gaussian-perturbed. The paper under reproduction
+//! stresses GAP's weakness in this setting (§VI-D): "the aggregation
+//! perturbation encounters compatibility issues with GNNs.
+//! Consequently, all aggregate outputs need to be re-perturbed at each
+//! training iteration, resulting in poor performance."
+//!
+//! The stand-in models exactly that budget split: the `(ε, δ)` budget
+//! is divided over `hops × epochs` Gaussian mechanisms (one fresh
+//! perturbation of every hop per training iteration), the noise
+//! multiplier is calibrated with the same RDP machinery as
+//! SE-PrivGEmb, and the embedding is a fixed random projection of the
+//! concatenated noisy aggregates (post-processing, free of charge).
+//! Only the final iteration's aggregates feed the published embedding
+//! — earlier re-perturbations exist in the accounting (that is GAP's
+//! problem) but need not be materialised, which keeps the stand-in
+//! cheap without changing the privacy arithmetic.
+//!
+//! Node features do not exist in the paper's graphs, so random
+//! features are used "to ensure a fair evaluation, similar to prior
+//! research [32]".
+
+use crate::common::{BaselineConfig, EmbedReport, Embedder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sp_dp::{calibrate_noise_multiplier, GaussianSampler};
+use sp_graph::Graph;
+use sp_linalg::{vector, DenseMatrix};
+
+/// Number of aggregation hops (GAP's default K in the 2–3 range).
+pub(crate) const HOPS: usize = 2;
+
+/// The GAP baseline.
+#[derive(Clone, Debug)]
+pub struct Gap {
+    config: BaselineConfig,
+}
+
+impl Gap {
+    /// New instance; panics on invalid config.
+    pub fn new(config: BaselineConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid BaselineConfig: {e}");
+        }
+        Self { config }
+    }
+}
+
+impl Embedder for Gap {
+    fn name(&self) -> &'static str {
+        "GAP"
+    }
+
+    fn embed(&self, g: &Graph) -> (DenseMatrix, EmbedReport) {
+        let cfg = &self.config;
+        // Budget split over hops × epochs mechanisms (re-perturbation
+        // at every training iteration).
+        let mechanisms = (HOPS * cfg.epochs.max(1)) as u64;
+        let sigma = calibrate_noise_multiplier(mechanisms, cfg.epsilon, cfg.delta);
+        let emb = noisy_multihop_embedding(g, cfg.dim, HOPS, sigma, cfg.seed ^ 0x6A9);
+        (
+            emb,
+            EmbedReport {
+                method: self.name(),
+                epsilon_spent: cfg.epsilon,
+                epochs_run: cfg.epochs,
+                stopped_by_budget: false,
+            },
+        )
+    }
+}
+
+/// Shared aggregation core for GAP and ProGAP.
+///
+/// 1. Random unit-norm features `X_0` (`|V| × dim`);
+/// 2. for each hop: `X_l = rownorm(Â X_{l-1}) + N(0, σ²)` with
+///    row-normalisation bounding each node's contribution to 1
+///    (sensitivity 1 per mechanism);
+/// 3. embedding = random projection of `[X_0 ‖ X_1 ‖ … ‖ X_L]` to
+///    `dim` columns (data-independent post-processing).
+pub(crate) fn noisy_multihop_embedding(
+    g: &Graph,
+    dim: usize,
+    hops: usize,
+    sigma: f64,
+    seed: u64,
+) -> DenseMatrix {
+    assert!(g.num_nodes() > 0, "empty graph");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut noise = GaussianSampler::new();
+    let n = g.num_nodes();
+
+    let a_hat = sp_proximity_free_normalized_adjacency(g);
+
+    // X_0: random unit rows.
+    let mut x = DenseMatrix::uniform(n, dim, -1.0, 1.0, &mut rng);
+    normalize_rows(&mut x);
+
+    let mut stacked: Vec<DenseMatrix> = vec![x.clone()];
+    for _ in 0..hops {
+        let mut agg = a_hat.spmm_dense(&x);
+        normalize_rows(&mut agg);
+        noise.perturb_slice(agg.as_mut_slice(), sigma, &mut rng);
+        stacked.push(agg.clone());
+        x = agg;
+    }
+
+    // Random projection of the concatenation back to `dim`.
+    let total = dim * (hops + 1);
+    let scale = 1.0 / (total as f64).sqrt();
+    let mut proj = DenseMatrix::zeros(total, dim);
+    for v in proj.as_mut_slice() {
+        *v = if rng.gen::<bool>() { scale } else { -scale };
+    }
+    let mut out = DenseMatrix::zeros(n, dim);
+    for (block, xs) in stacked.iter().enumerate() {
+        for r in 0..n {
+            for (c, &val) in xs.row(r).iter().enumerate() {
+                if val != 0.0 {
+                    vector::axpy(val, proj.row(block * dim + c), out.row_mut(r));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Row-normalised adjacency without dragging in sp-proximity (keeps
+/// the baseline crate's dependency set minimal).
+fn sp_proximity_free_normalized_adjacency(g: &Graph) -> sp_linalg::CsrMatrix {
+    let n = g.num_nodes();
+    let mut b = sp_linalg::CooBuilder::new(n, n);
+    for &(u, v) in g.edges() {
+        b.push(u as usize, v as usize, 1.0);
+        b.push(v as usize, u as usize, 1.0);
+    }
+    let mut a = b.build();
+    a.normalize_rows();
+    a
+}
+
+/// Scales every row to unit norm (zero rows stay zero).
+fn normalize_rows(m: &mut DenseMatrix) {
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        let n = vector::norm2(row);
+        if n > 0.0 {
+            vector::scale(1.0 / n, row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use sp_datasets::generators;
+
+    fn test_graph() -> Graph {
+        let mut rng = StdRng::seed_from_u64(3);
+        generators::barabasi_albert(80, 3, &mut rng)
+    }
+
+    #[test]
+    fn embedding_shape_and_determinism() {
+        let g = test_graph();
+        let cfg = BaselineConfig {
+            dim: 16,
+            epochs: 5,
+            ..BaselineConfig::default()
+        };
+        let (a, rep) = Gap::new(cfg.clone()).embed(&g);
+        assert_eq!(a.shape(), (80, 16));
+        assert_eq!(rep.method, "GAP");
+        let (b, _) = Gap::new(cfg).embed(&g);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn smaller_epsilon_means_more_noise() {
+        // The calibrated σ must grow as ε shrinks; verify through the
+        // calibration function the embedder uses.
+        let tight = calibrate_noise_multiplier((HOPS * 5) as u64, 0.5, 1e-5);
+        let loose = calibrate_noise_multiplier((HOPS * 5) as u64, 3.5, 1e-5);
+        assert!(tight > loose);
+    }
+
+    #[test]
+    fn re_perturbation_wastes_budget_versus_single_shot() {
+        // GAP's per-iteration re-perturbation = hops×epochs mechanisms;
+        // the single-shot split (ProGAP-style) = hops mechanisms. The
+        // former must demand strictly more noise.
+        let gap_sigma = calibrate_noise_multiplier((HOPS * 30) as u64, 1.0, 1e-5);
+        let pro_sigma = calibrate_noise_multiplier(HOPS as u64, 1.0, 1e-5);
+        assert!(
+            gap_sigma > 2.0 * pro_sigma,
+            "gap {gap_sigma} vs progap {pro_sigma}"
+        );
+    }
+
+    #[test]
+    fn zero_noise_aggregation_reflects_structure() {
+        // With σ→0 the multihop embedding separates a two-cluster
+        // graph: nodes in the same clique get closer embeddings than
+        // nodes across cliques.
+        let mut edges = Vec::new();
+        for i in 0..10u32 {
+            for j in (i + 1)..10 {
+                edges.push((i, j));
+                edges.push((i + 10, j + 10));
+            }
+        }
+        edges.push((0, 10)); // single bridge
+        let g = Graph::from_edges(20, edges);
+        let emb = noisy_multihop_embedding(&g, 8, 2, 1e-9, 7);
+        let within = vector::dist2(emb.row(1), emb.row(2));
+        let across = vector::dist2(emb.row(1), emb.row(12));
+        assert!(
+            within < across,
+            "within-clique {within} should be < across {across}"
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! ProGAP stand-in: progressive aggregation perturbation.
+//!
+//! ProGAP (Sajadmanesh & Gatica-Perez, WSDM'24) restructures GAP into
+//! progressive stages: each stage computes its noisy aggregate *once*,
+//! caches it, and trains on top of the frozen result. The privacy
+//! budget therefore divides over `hops` mechanisms instead of GAP's
+//! `hops × epochs`, which is why the paper observes "ProGAP offers
+//! slightly better utility than GAP" while both trail SE-PrivGEmb.
+//! The aggregation core is shared with [`crate::gap`]; only the
+//! mechanism count differs.
+
+use crate::common::{BaselineConfig, EmbedReport, Embedder};
+use crate::gap::{noisy_multihop_embedding, HOPS};
+use sp_dp::calibrate_noise_multiplier;
+use sp_graph::Graph;
+use sp_linalg::DenseMatrix;
+
+/// The ProGAP baseline.
+#[derive(Clone, Debug)]
+pub struct ProGap {
+    config: BaselineConfig,
+}
+
+impl ProGap {
+    /// New instance; panics on invalid config.
+    pub fn new(config: BaselineConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid BaselineConfig: {e}");
+        }
+        Self { config }
+    }
+}
+
+impl Embedder for ProGap {
+    fn name(&self) -> &'static str {
+        "ProGAP"
+    }
+
+    fn embed(&self, g: &Graph) -> (DenseMatrix, EmbedReport) {
+        let cfg = &self.config;
+        // Progressive caching: one mechanism per stage, full stop.
+        let sigma = calibrate_noise_multiplier(HOPS as u64, cfg.epsilon, cfg.delta);
+        let emb = noisy_multihop_embedding(g, cfg.dim, HOPS, sigma, cfg.seed ^ 0x960);
+        (
+            emb,
+            EmbedReport {
+                method: self.name(),
+                epsilon_spent: cfg.epsilon,
+                epochs_run: cfg.epochs,
+                stopped_by_budget: false,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gap::Gap;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sp_datasets::generators;
+    use sp_eval::{struc_equ, PairSelection};
+
+    fn test_graph() -> Graph {
+        let mut rng = StdRng::seed_from_u64(4);
+        generators::barabasi_albert(150, 4, &mut rng)
+    }
+
+    #[test]
+    fn embedding_shape() {
+        let g = test_graph();
+        let cfg = BaselineConfig {
+            dim: 16,
+            ..BaselineConfig::default()
+        };
+        let (emb, rep) = ProGap::new(cfg).embed(&g);
+        assert_eq!(emb.shape(), (150, 16));
+        assert_eq!(rep.method, "ProGAP");
+        assert!(!rep.stopped_by_budget);
+    }
+
+    #[test]
+    fn progap_beats_gap_on_structural_signal() {
+        // Same budget, same seed family: ProGAP's lower mechanism
+        // count must preserve more structure. Averaged over seeds to
+        // keep the comparison robust.
+        let g = test_graph();
+        let mut pro_total = 0.0;
+        let mut gap_total = 0.0;
+        for seed in 0..5u64 {
+            let cfg = BaselineConfig {
+                dim: 32,
+                epsilon: 1.0,
+                epochs: 20,
+                seed,
+                ..BaselineConfig::default()
+            };
+            let (pro, _) = ProGap::new(cfg.clone()).embed(&g);
+            let (gap, _) = Gap::new(cfg).embed(&g);
+            pro_total += struc_equ(&g, &pro, PairSelection::All).unwrap_or(0.0);
+            gap_total += struc_equ(&g, &gap, PairSelection::All).unwrap_or(0.0);
+        }
+        assert!(
+            pro_total > gap_total,
+            "ProGAP {pro_total} should beat GAP {gap_total} over 5 seeds"
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Criterion micro-benchmarks for the hot kernels of every substrate:
+//! one group per crate, sized to finish quickly while still resolving
+//! the costs that dominate experiment wall-clock (gradient steps,
+//! noise injection, proximity construction, accountant updates,
+//! metric kernels).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::{SmallRng, StdRng};
+use rand::SeedableRng;
+use se_privgemb::{PerturbStrategy, ProximityKind, SePrivGEmb};
+use sp_datasets::generators;
+use sp_dp::{subsampled_gaussian_rdp, GaussianSampler, RdpAccountant};
+use sp_eval::{auc_from_scores, struc_equ, PairSelection};
+use sp_graph::Graph;
+use sp_linalg::{vector, DenseMatrix};
+use sp_proximity::{proximity_matrix, EdgeProximity};
+use sp_skipgram::alias::AliasTable;
+use sp_skipgram::model::{GradBuffer, SkipGramModel};
+use sp_skipgram::{generate_subgraphs, NegativeSampling};
+
+fn bench_graph(n: usize) -> Graph {
+    let mut rng = StdRng::seed_from_u64(1);
+    generators::barabasi_albert(n, 5, &mut rng)
+}
+
+fn linalg_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linalg");
+    let x: Vec<f64> = (0..128).map(|i| (i as f64).sin()).collect();
+    let y: Vec<f64> = (0..128).map(|i| (i as f64).cos()).collect();
+    g.bench_function("dot_128", |b| b.iter(|| vector::dot(black_box(&x), black_box(&y))));
+    g.bench_function("sigmoid", |b| b.iter(|| vector::sigmoid(black_box(0.37))));
+    let mut z = y.clone();
+    g.bench_function("axpy_128", |b| {
+        b.iter(|| vector::axpy(black_box(0.5), black_box(&x), black_box(&mut z)))
+    });
+    let a = proximity_matrix(&bench_graph(500), ProximityKind::DeepWalk { window: 1 });
+    let d = DenseMatrix::uniform(500, 64, -1.0, 1.0, &mut StdRng::seed_from_u64(2));
+    g.bench_function("spmm_dense_500x64", |b| b.iter(|| a.spmm_dense(black_box(&d))));
+    g.bench_function("spgemm_500", |b| b.iter(|| a.spgemm(black_box(&a))));
+    g.finish();
+}
+
+fn dp_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dp");
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut sampler = GaussianSampler::new();
+    let mut buf = vec![0.0f64; 128];
+    g.bench_function("gaussian_row_128", |b| {
+        b.iter(|| sampler.fill_slice(black_box(&mut buf), 1.0, &mut rng))
+    });
+    g.bench_function("rdp_subsampled_alpha32", |b| {
+        b.iter(|| subsampled_gaussian_rdp(black_box(32), black_box(0.004), black_box(5.0)))
+    });
+    let mut acc = RdpAccountant::default();
+    acc.step_many(0.004, 5.0, 100);
+    g.bench_function("rdp_delta_conversion", |b| b.iter(|| acc.delta(black_box(3.5))));
+    g.finish();
+}
+
+fn proximity_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("proximity");
+    let graph = bench_graph(1000);
+    for kind in [
+        ProximityKind::DeepWalk { window: 2 },
+        ProximityKind::CommonNeighbors,
+        ProximityKind::ResourceAllocation,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("matrix", kind.label()),
+            &kind,
+            |b, &kind| b.iter(|| proximity_matrix(black_box(&graph), kind)),
+        );
+    }
+    g.bench_function("degree_edge_weights", |b| {
+        b.iter(|| EdgeProximity::compute(black_box(&graph), ProximityKind::Degree))
+    });
+    g.finish();
+}
+
+fn skipgram_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("skipgram");
+    let graph = bench_graph(1000);
+    let mut rng = StdRng::seed_from_u64(4);
+    g.bench_function("alias_build_1000", |b| {
+        let w: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        b.iter(|| AliasTable::new(black_box(&w)))
+    });
+    let table = AliasTable::new(&(1..=1000).map(|i| i as f64).collect::<Vec<_>>());
+    let mut srng = SmallRng::seed_from_u64(5);
+    g.bench_function("alias_sample", |b| b.iter(|| table.sample(&mut srng)));
+    g.bench_function("subgraphs_alg1", |b| {
+        b.iter(|| {
+            generate_subgraphs(
+                black_box(&graph),
+                5,
+                NegativeSampling::UniformNonNeighbor,
+                &mut rng,
+            )
+        })
+    });
+    let model = SkipGramModel::new(1000, 128, &mut rng);
+    let sgs = generate_subgraphs(&graph, 5, NegativeSampling::UniformNonNeighbor, &mut rng);
+    let mut buf = GradBuffer::new();
+    g.bench_function("example_grad_r128_k5", |b| {
+        b.iter(|| model.example_grad(black_box(&sgs[0]), 1.0, &mut buf))
+    });
+    g.finish();
+}
+
+fn eval_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eval");
+    let graph = bench_graph(500);
+    let emb = DenseMatrix::uniform(500, 64, -1.0, 1.0, &mut StdRng::seed_from_u64(6));
+    g.bench_function("strucequ_sampled_20k", |b| {
+        b.iter(|| {
+            struc_equ(
+                black_box(&graph),
+                black_box(&emb),
+                PairSelection::Sampled {
+                    pairs: 20_000,
+                    seed: 1,
+                },
+            )
+        })
+    });
+    let pos: Vec<f64> = (0..2000).map(|i| (i as f64 * 0.37).sin()).collect();
+    let neg: Vec<f64> = (0..2000).map(|i| (i as f64 * 0.11).cos() - 0.2).collect();
+    g.bench_function("auc_4k_scores", |b| {
+        b.iter(|| auc_from_scores(black_box(&pos), black_box(&neg)))
+    });
+    g.finish();
+}
+
+fn end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    let graph = bench_graph(300);
+    g.bench_function("train_private_10_epochs", |b| {
+        b.iter(|| {
+            SePrivGEmb::builder()
+                .dim(32)
+                .epochs(10)
+                .strategy(PerturbStrategy::NonZero)
+                .proximity(ProximityKind::Degree)
+                .seed(1)
+                .build()
+                .fit(black_box(&graph))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    linalg_kernels,
+    dp_kernels,
+    proximity_kernels,
+    skipgram_kernels,
+    eval_kernels,
+    end_to_end
+);
+criterion_main!(benches);

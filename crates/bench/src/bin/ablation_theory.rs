@@ -1,0 +1,8 @@
+//! Ablation studies: Theorem 3 verification, negative-sampling design,
+//! the evaluation-norm artifact, and sensitivity scaling.
+use sp_bench::experiments::ablation;
+use sp_bench::harness::BenchMode;
+
+fn main() {
+    ablation::run(BenchMode::from_env());
+}

@@ -1,0 +1,7 @@
+//! Reproduces Fig. 3: StrucEqu vs privacy budget, 8 methods x 6 datasets.
+use sp_bench::experiments::fig3;
+use sp_bench::harness::BenchMode;
+
+fn main() {
+    fig3::run(BenchMode::from_env());
+}

@@ -1,0 +1,7 @@
+//! Reproduces Fig. 4: link-prediction AUC vs privacy budget, 8 methods x 3 datasets.
+use sp_bench::experiments::fig4;
+use sp_bench::harness::BenchMode;
+
+fn main() {
+    fig4::run(BenchMode::from_env());
+}

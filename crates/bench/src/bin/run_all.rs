@@ -1,0 +1,35 @@
+//! Runs every experiment (Tables II-VI, Figs. 3-4, ablations) in order.
+use sp_bench::experiments::{ablation, fig3, fig4, param_tables, table6};
+use sp_bench::harness::BenchMode;
+
+fn main() {
+    let mode = BenchMode::from_env();
+    param_tables::run(
+        mode,
+        "table2_batch",
+        "Table II: StrucEqu vs batch size B (eps = 3.5)",
+        &param_tables::table2_values(),
+    );
+    param_tables::run(
+        mode,
+        "table3_lr",
+        "Table III: StrucEqu vs learning rate eta (eps = 3.5)",
+        &param_tables::table3_values(),
+    );
+    param_tables::run(
+        mode,
+        "table4_clip",
+        "Table IV: StrucEqu vs clipping threshold C (eps = 3.5)",
+        &param_tables::table4_values(),
+    );
+    param_tables::run(
+        mode,
+        "table5_negs",
+        "Table V: StrucEqu vs negative samples k (eps = 3.5)",
+        &param_tables::table5_values(),
+    );
+    table6::run(mode);
+    fig3::run(mode);
+    fig4::run(mode);
+    ablation::run(mode);
+}

@@ -1,0 +1,13 @@
+//! Reproduces Table II: StrucEqu vs batch size B at epsilon = 3.5.
+use sp_bench::experiments::param_tables;
+use sp_bench::harness::BenchMode;
+
+fn main() {
+    let mode = BenchMode::from_env();
+    param_tables::run(
+        mode,
+        "table2_batch",
+        "Table II: StrucEqu vs batch size B (eps = 3.5)",
+        &param_tables::table2_values(),
+    );
+}

@@ -1,0 +1,13 @@
+//! Reproduces Table III: StrucEqu vs learning rate eta at epsilon = 3.5.
+use sp_bench::experiments::param_tables;
+use sp_bench::harness::BenchMode;
+
+fn main() {
+    let mode = BenchMode::from_env();
+    param_tables::run(
+        mode,
+        "table3_lr",
+        "Table III: StrucEqu vs learning rate eta (eps = 3.5)",
+        &param_tables::table3_values(),
+    );
+}

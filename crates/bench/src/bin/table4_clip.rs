@@ -1,0 +1,13 @@
+//! Reproduces Table IV: StrucEqu vs clipping threshold C at epsilon = 3.5.
+use sp_bench::experiments::param_tables;
+use sp_bench::harness::BenchMode;
+
+fn main() {
+    let mode = BenchMode::from_env();
+    param_tables::run(
+        mode,
+        "table4_clip",
+        "Table IV: StrucEqu vs clipping threshold C (eps = 3.5)",
+        &param_tables::table4_values(),
+    );
+}

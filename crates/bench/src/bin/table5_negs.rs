@@ -1,0 +1,13 @@
+//! Reproduces Table V: StrucEqu vs negative-sample count k at epsilon = 3.5.
+use sp_bench::experiments::param_tables;
+use sp_bench::harness::BenchMode;
+
+fn main() {
+    let mode = BenchMode::from_env();
+    param_tables::run(
+        mode,
+        "table5_negs",
+        "Table V: StrucEqu vs negative samples k (eps = 3.5)",
+        &param_tables::table5_values(),
+    );
+}

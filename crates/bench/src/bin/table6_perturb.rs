@@ -1,0 +1,7 @@
+//! Reproduces Table VI: naive vs non-zero perturbation strategies.
+use sp_bench::experiments::table6;
+use sp_bench::harness::BenchMode;
+
+fn main() {
+    table6::run(BenchMode::from_env());
+}

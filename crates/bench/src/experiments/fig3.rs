@@ -1,0 +1,102 @@
+//! Fig. 3: structural equivalence vs privacy budget for all eight
+//! methods on all six datasets, ε ∈ {0.5, 1, 1.5, 2, 2.5, 3, 3.5}.
+
+use crate::harness::{banner, dataset_graph, fmt_stats, parallel_map, write_tsv, BenchMode};
+use crate::methods::Method;
+use se_privgemb::presets::epsilon_grid;
+use sp_datasets::PaperDataset;
+use sp_eval::{struc_equ, PairSelection};
+use sp_linalg::RunningStats;
+
+struct Job {
+    method: Method,
+    ds: PaperDataset,
+    eps: f64,
+    rep: usize,
+}
+
+/// Runs Fig. 3 (one series per method per dataset).
+pub fn run(mode: BenchMode) {
+    banner("Fig. 3: impact of privacy budget on structural equivalence", mode);
+    let reps = mode.reps();
+    let datasets = PaperDataset::all();
+    let eps_grid = epsilon_grid();
+
+    let prepared: Vec<(PaperDataset, sp_graph::Graph)> = datasets
+        .iter()
+        .map(|&ds| (ds, dataset_graph(mode, ds, 7)))
+        .collect();
+    let graph_of = |ds: PaperDataset| -> &sp_graph::Graph {
+        &prepared.iter().find(|(d, _)| *d == ds).unwrap().1
+    };
+
+    let mut jobs = Vec::new();
+    for &(ds, _) in &prepared {
+        for method in Method::all() {
+            for &eps in &eps_grid {
+                for rep in 0..reps {
+                    jobs.push(Job {
+                        method,
+                        ds,
+                        eps,
+                        rep,
+                    });
+                }
+            }
+        }
+    }
+
+    let scores = parallel_map(jobs, 2, |job| {
+        let g = graph_of(job.ds);
+        let emb = job.method.embed(
+            g,
+            mode.dim(),
+            job.eps,
+            mode.strucequ_epochs(),
+            3000 + job.rep as u64,
+        );
+        struc_equ(
+            g,
+            &emb,
+            PairSelection::Auto {
+                seed: job.rep as u64,
+            },
+        )
+        .unwrap_or(0.0)
+    });
+
+    let mut tsv_rows = Vec::new();
+    let mut cursor = 0usize;
+    for &(ds, _) in &prepared {
+        println!("\n[{}] StrucEqu by method and epsilon", ds.name());
+        print!("{:>16}", "method");
+        for eps in &eps_grid {
+            print!("  {:>13}", format!("eps={eps}"));
+        }
+        println!();
+        for method in Method::all() {
+            print!("{:>16}", method.name());
+            for &eps in &eps_grid {
+                let mut st = RunningStats::new();
+                for _ in 0..reps {
+                    st.push(scores[cursor]);
+                    cursor += 1;
+                }
+                print!("  {:>13}", fmt_stats(&st));
+                tsv_rows.push(vec![
+                    ds.name().to_string(),
+                    method.name().to_string(),
+                    eps.to_string(),
+                    format!("{:.4}", st.mean()),
+                    format!("{:.4}", st.std_dev()),
+                ]);
+            }
+            println!();
+        }
+    }
+    write_tsv(
+        "fig3_strucequ",
+        &["dataset", "method", "epsilon", "strucequ_mean", "strucequ_sd"],
+        &tsv_rows,
+    );
+}

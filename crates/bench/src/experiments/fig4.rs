@@ -1,0 +1,113 @@
+//! Fig. 4: link-prediction AUC vs privacy budget for all eight
+//! methods on Chameleon, Power, and Arxiv.
+//!
+//! Protocol per §VI-A: 90/10 edge split, methods train on the graph
+//! induced by the training edges, the held-out edges plus an equal
+//! number of sampled non-edges form the test set, scoring is the
+//! inner product of the endpoint embeddings, metric is rank-AUC.
+
+use crate::harness::{banner, dataset_graph, fmt_stats, parallel_map, write_tsv, BenchMode};
+use crate::methods::Method;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use se_privgemb::presets::epsilon_grid;
+use sp_datasets::PaperDataset;
+use sp_eval::LinkSplit;
+use sp_linalg::RunningStats;
+
+struct Job {
+    method: Method,
+    ds_index: usize,
+    eps: f64,
+    rep: usize,
+}
+
+/// Runs Fig. 4.
+pub fn run(mode: BenchMode) {
+    banner("Fig. 4: impact of privacy budget on link prediction", mode);
+    let reps = mode.reps();
+    let datasets = [
+        PaperDataset::Chameleon,
+        PaperDataset::Power,
+        PaperDataset::Arxiv,
+    ];
+    let eps_grid = epsilon_grid();
+
+    // One split per (dataset, rep): the paper re-splits per run.
+    let splits: Vec<Vec<LinkSplit>> = datasets
+        .iter()
+        .map(|&ds| {
+            let g = dataset_graph(mode, ds, 7);
+            (0..reps)
+                .map(|rep| {
+                    let mut rng = StdRng::seed_from_u64(4000 + rep as u64);
+                    LinkSplit::new(&g, 0.1, &mut rng)
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut jobs = Vec::new();
+    for (ds_index, _) in datasets.iter().enumerate() {
+        for method in Method::all() {
+            for &eps in &eps_grid {
+                for rep in 0..reps {
+                    jobs.push(Job {
+                        method,
+                        ds_index,
+                        eps,
+                        rep,
+                    });
+                }
+            }
+        }
+    }
+
+    let scores = parallel_map(jobs, 2, |job| {
+        let split = &splits[job.ds_index][job.rep];
+        let emb = job.method.embed(
+            &split.train,
+            mode.dim(),
+            job.eps,
+            mode.linkpred_epochs(),
+            5000 + job.rep as u64,
+        );
+        split.auc(&emb).unwrap_or(0.5)
+    });
+
+    let mut tsv_rows = Vec::new();
+    let mut cursor = 0usize;
+    for (ds_index, ds) in datasets.iter().enumerate() {
+        let _ = ds_index;
+        println!("\n[{}] link-prediction AUC by method and epsilon", ds.name());
+        print!("{:>16}", "method");
+        for eps in &eps_grid {
+            print!("  {:>13}", format!("eps={eps}"));
+        }
+        println!();
+        for method in Method::all() {
+            print!("{:>16}", method.name());
+            for &eps in &eps_grid {
+                let mut st = RunningStats::new();
+                for _ in 0..reps {
+                    st.push(scores[cursor]);
+                    cursor += 1;
+                }
+                print!("  {:>13}", fmt_stats(&st));
+                tsv_rows.push(vec![
+                    ds.name().to_string(),
+                    method.name().to_string(),
+                    eps.to_string(),
+                    format!("{:.4}", st.mean()),
+                    format!("{:.4}", st.std_dev()),
+                ]);
+            }
+            println!();
+        }
+    }
+    write_tsv(
+        "fig4_linkpred",
+        &["dataset", "method", "epsilon", "auc_mean", "auc_sd"],
+        &tsv_rows,
+    );
+}

@@ -1,0 +1,8 @@
+//! One module per paper artefact. Every `run` function prints the
+//! paper-style rows and mirrors them to TSV (see `results/`).
+
+pub mod ablation;
+pub mod fig3;
+pub mod fig4;
+pub mod param_tables;
+pub mod table6;

@@ -1,0 +1,226 @@
+//! Run-mode handling, dataset provisioning, parallel sweeps, and TSV
+//! output.
+
+use parking_lot::Mutex;
+use sp_datasets::PaperDataset;
+use sp_graph::Graph;
+use sp_linalg::RunningStats;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Quick (default) vs full (paper-scale) execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BenchMode {
+    /// Scaled stand-ins, few repetitions: minutes on a laptop.
+    Quick,
+    /// Published sizes, paper epochs, 10 repetitions: hours.
+    Full,
+}
+
+impl BenchMode {
+    /// Resolves the mode from CLI args (`--full`) or `SP_BENCH_FULL`.
+    pub fn from_env() -> Self {
+        let full_flag = std::env::args().any(|a| a == "--full");
+        let full_env = std::env::var("SP_BENCH_FULL").map(|v| v == "1").unwrap_or(false);
+        if full_flag || full_env {
+            BenchMode::Full
+        } else {
+            BenchMode::Quick
+        }
+    }
+
+    /// Repetitions per configuration (paper: 10). Overridable with
+    /// `SP_REPS`.
+    pub fn reps(&self) -> usize {
+        if let Ok(v) = std::env::var("SP_REPS") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        match self {
+            BenchMode::Quick => 2,
+            BenchMode::Full => 10,
+        }
+    }
+
+    /// Dataset scale factor for a given dataset (1.0 = published size).
+    pub fn scale(&self, ds: PaperDataset) -> f64 {
+        match self {
+            BenchMode::Full => match ds {
+                // Even in full mode DBLP (2.2M nodes) is scaled to 10%:
+                // the full graph is supported but takes hours per run.
+                PaperDataset::Dblp => 0.1,
+                _ => 1.0,
+            },
+            BenchMode::Quick => match ds {
+                PaperDataset::Chameleon => 0.15,
+                PaperDataset::Ppi => 0.10,
+                PaperDataset::Power => 0.12,
+                PaperDataset::Arxiv => 0.12,
+                PaperDataset::BlogCatalog => 0.05,
+                PaperDataset::Dblp => 0.002,
+            },
+        }
+    }
+
+    /// Training epochs for the structural-equivalence task
+    /// (paper: 200).
+    pub fn strucequ_epochs(&self) -> usize {
+        match self {
+            BenchMode::Quick => 60,
+            BenchMode::Full => 200,
+        }
+    }
+
+    /// Training epochs for link prediction (paper: 2000).
+    pub fn linkpred_epochs(&self) -> usize {
+        match self {
+            BenchMode::Quick => 150,
+            BenchMode::Full => 2000,
+        }
+    }
+
+    /// Embedding dimension (paper: 128).
+    pub fn dim(&self) -> usize {
+        match self {
+            BenchMode::Quick => 64,
+            BenchMode::Full => 128,
+        }
+    }
+
+    /// Human label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BenchMode::Quick => "quick",
+            BenchMode::Full => "full",
+        }
+    }
+}
+
+/// Generates the stand-in graph for `ds` under this mode.
+pub fn dataset_graph(mode: BenchMode, ds: PaperDataset, seed: u64) -> Graph {
+    ds.generate(mode.scale(ds), seed)
+}
+
+/// `mean ± sd` formatting used in every table row (paper style:
+/// 4 decimals).
+pub fn fmt_stats(s: &RunningStats) -> String {
+    format!("{:.4}±{:.4}", s.mean(), s.std_dev())
+}
+
+/// Runs `f` over `configs` on a small worker pool, preserving input
+/// order in the output. `threads` defaults to the available
+/// parallelism (the experiment configs are independent runs).
+pub fn parallel_map<T, R, F>(configs: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads
+        .max(1)
+        .min(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2));
+    let n = configs.len();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let slots = Mutex::new(slots);
+    let work: Mutex<std::vec::IntoIter<(usize, T)>> =
+        Mutex::new(configs.into_iter().enumerate().collect::<Vec<_>>().into_iter());
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let item = work.lock().next();
+                match item {
+                    Some((idx, cfg)) => {
+                        let r = f(&cfg);
+                        slots.lock()[idx] = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+/// Directory where TSV mirrors of the tables land.
+pub fn results_dir() -> PathBuf {
+    let base = std::env::var("SP_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results")
+        });
+    std::fs::create_dir_all(&base).ok();
+    base
+}
+
+/// Writes header + rows as TSV into `results/<name>.tsv`.
+pub fn write_tsv(name: &str, header: &[&str], rows: &[Vec<String>]) {
+    let path = results_dir().join(format!("{name}.tsv"));
+    let mut out = match std::fs::File::create(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            return;
+        }
+    };
+    let _ = writeln!(out, "{}", header.join("\t"));
+    for row in rows {
+        let _ = writeln!(out, "{}", row.join("\t"));
+    }
+    println!("[tsv] {}", path.display());
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str, mode: BenchMode) {
+    println!();
+    println!("=== {title} [{} mode] ===", mode.label());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..50).collect::<Vec<i32>>(), 4, |&x| x * 2);
+        assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_single_thread_matches() {
+        let a = parallel_map(vec![1, 2, 3], 1, |&x| x + 1);
+        assert_eq!(a, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn quick_mode_scales_are_small() {
+        for ds in PaperDataset::all() {
+            let s = BenchMode::Quick.scale(ds);
+            assert!(s > 0.0 && s <= 0.2, "{:?} scale {s}", ds);
+        }
+    }
+
+    #[test]
+    fn fmt_stats_shape() {
+        let mut s = RunningStats::new();
+        s.push(0.5);
+        s.push(0.7);
+        let txt = fmt_stats(&s);
+        assert!(txt.starts_with("0.6000±"), "{txt}");
+    }
+
+    #[test]
+    fn dataset_graph_is_deterministic() {
+        let a = dataset_graph(BenchMode::Quick, PaperDataset::Power, 3);
+        let b = dataset_graph(BenchMode::Quick, PaperDataset::Power, 3);
+        assert_eq!(a.edges(), b.edges());
+    }
+}

@@ -1,0 +1,218 @@
+//! Unified runner for the eight compared methods of Figs. 3–4.
+
+use se_privgemb::{PerturbStrategy, ProximityKind, SePrivGEmb};
+use sp_baselines::{BaselineConfig, DpgGan, DpgVae, Embedder, Gap, ProGap};
+use sp_graph::Graph;
+use sp_linalg::DenseMatrix;
+
+/// The eight methods of the paper's comparison, in legend order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// DPGGAN (Yang et al., IJCAI'21).
+    DpgGan,
+    /// DPGVAE (Yang et al., IJCAI'21).
+    DpgVae,
+    /// GAP (Sajadmanesh et al., USENIX Sec'23).
+    Gap,
+    /// ProGAP (Sajadmanesh & Gatica-Perez, WSDM'24).
+    ProGap,
+    /// Non-private skip-gram with DeepWalk proximity.
+    SeGembDw,
+    /// SE-PrivGEmb with DeepWalk proximity (this paper).
+    SePrivGembDw,
+    /// Non-private skip-gram with degree proximity.
+    SeGembDeg,
+    /// SE-PrivGEmb with degree proximity (this paper).
+    SePrivGembDeg,
+}
+
+impl Method {
+    /// All eight, in the paper's legend order.
+    pub fn all() -> [Method; 8] {
+        [
+            Method::DpgGan,
+            Method::DpgVae,
+            Method::Gap,
+            Method::ProGap,
+            Method::SeGembDw,
+            Method::SePrivGembDw,
+            Method::SeGembDeg,
+            Method::SePrivGembDeg,
+        ]
+    }
+
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::DpgGan => "DPGGAN",
+            Method::DpgVae => "DPGVAE",
+            Method::Gap => "GAP",
+            Method::ProGap => "ProGAP",
+            Method::SeGembDw => "SE-GEmbDW",
+            Method::SePrivGembDw => "SE-PrivGEmbDW",
+            Method::SeGembDeg => "SE-GEmbDeg",
+            Method::SePrivGembDeg => "SE-PrivGEmbDeg",
+        }
+    }
+
+    /// Whether the method consumes the privacy budget (the two
+    /// SE-GEmb references are non-private upper bounds).
+    pub fn is_private(&self) -> bool {
+        !matches!(self, Method::SeGembDw | Method::SeGembDeg)
+    }
+
+    /// Runs the method and returns the `|V| × dim` embeddings.
+    ///
+    /// `epochs` is the task-dependent training length (200-equivalent
+    /// for StrucEqu, 2000-equivalent for link prediction); `epsilon`
+    /// is ignored by the non-private methods.
+    pub fn embed(
+        &self,
+        g: &Graph,
+        dim: usize,
+        epsilon: f64,
+        epochs: usize,
+        seed: u64,
+    ) -> DenseMatrix {
+        match self {
+            Method::DpgGan => {
+                let cfg = baseline_cfg(dim, epsilon, epochs, seed);
+                DpgGan::new(cfg).embed(g).0
+            }
+            Method::DpgVae => {
+                let cfg = baseline_cfg(dim, epsilon, epochs, seed);
+                DpgVae::new(cfg).embed(g).0
+            }
+            Method::Gap => {
+                let cfg = baseline_cfg(dim, epsilon, epochs, seed);
+                Gap::new(cfg).embed(g).0
+            }
+            Method::ProGap => {
+                let cfg = baseline_cfg(dim, epsilon, epochs, seed);
+                ProGap::new(cfg).embed(g).0
+            }
+            Method::SeGembDw => se_privgemb_embed(
+                g,
+                dim,
+                epsilon,
+                epochs,
+                seed,
+                ProximityKind::deepwalk_default(),
+                PerturbStrategy::None,
+            ),
+            Method::SePrivGembDw => se_privgemb_embed(
+                g,
+                dim,
+                epsilon,
+                epochs,
+                seed,
+                ProximityKind::deepwalk_default(),
+                PerturbStrategy::NonZero,
+            ),
+            Method::SeGembDeg => se_privgemb_embed(
+                g,
+                dim,
+                epsilon,
+                epochs,
+                seed,
+                ProximityKind::Degree,
+                PerturbStrategy::None,
+            ),
+            Method::SePrivGembDeg => se_privgemb_embed(
+                g,
+                dim,
+                epsilon,
+                epochs,
+                seed,
+                ProximityKind::Degree,
+                PerturbStrategy::NonZero,
+            ),
+        }
+    }
+}
+
+fn baseline_cfg(dim: usize, epsilon: f64, epochs: usize, seed: u64) -> BaselineConfig {
+    BaselineConfig {
+        dim,
+        epsilon,
+        // The deep baselines use a shorter epoch budget: their steps
+        // are full passes over |E| pairs, matching SE-PrivGEmb's total
+        // example count at 1/6 the epoch count.
+        epochs: (epochs / 6).max(3),
+        seed,
+        ..BaselineConfig::default()
+    }
+}
+
+fn se_privgemb_embed(
+    g: &Graph,
+    dim: usize,
+    epsilon: f64,
+    epochs: usize,
+    seed: u64,
+    prox: ProximityKind,
+    strategy: PerturbStrategy,
+) -> DenseMatrix {
+    SePrivGEmb::builder()
+        .dim(dim)
+        .proximity(prox)
+        .strategy(strategy)
+        .epsilon(epsilon)
+        .epochs(epochs)
+        .seed(seed)
+        .build()
+        .fit(g)
+        .embeddings()
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sp_datasets::generators;
+
+    #[test]
+    fn all_methods_produce_embeddings() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = generators::barabasi_albert(60, 3, &mut rng);
+        for m in Method::all() {
+            let emb = m.embed(&g, 8, 1.0, 6, 1);
+            assert_eq!(emb.rows(), 60, "{}", m.name());
+            assert_eq!(emb.cols(), 8, "{}", m.name());
+            assert!(
+                emb.as_slice().iter().all(|v| v.is_finite()),
+                "{} produced non-finite embeddings",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn names_match_paper_legend() {
+        let names: Vec<_> = Method::all().iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "DPGGAN",
+                "DPGVAE",
+                "GAP",
+                "ProGAP",
+                "SE-GEmbDW",
+                "SE-PrivGEmbDW",
+                "SE-GEmbDeg",
+                "SE-PrivGEmbDeg"
+            ]
+        );
+    }
+
+    #[test]
+    fn privacy_flags() {
+        assert!(!Method::SeGembDw.is_private());
+        assert!(!Method::SeGembDeg.is_private());
+        for m in [Method::DpgGan, Method::DpgVae, Method::Gap, Method::ProGap, Method::SePrivGembDw, Method::SePrivGembDeg] {
+            assert!(m.is_private(), "{}", m.name());
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Command-line front end: train SE-PrivGEmb on an edge-list file and
+//! write the private embeddings as TSV.
+//!
+//! ```text
+//! se_privgemb_cli --input graph.txt --output emb.tsv \
+//!     --dim 128 --epsilon 3.5 --epochs 200 --proximity dw --seed 1
+//! ```
+//!
+//! The input format is one `u v` pair per line (`#`/`%` comments
+//! allowed, arbitrary integer ids — compacted on load). The output is
+//! one row per node: `node_id \t x_1 \t ... \t x_r`, using the
+//! original ids.
+
+use se_privgemb::{PerturbStrategy, ProximityKind, SePrivGEmb};
+use std::io::Write;
+use std::process::ExitCode;
+
+struct Args {
+    input: String,
+    output: String,
+    dim: usize,
+    epsilon: f64,
+    delta: f64,
+    epochs: usize,
+    proximity: ProximityKind,
+    seed: u64,
+    non_private: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: se_privgemb_cli --input <edge-list> --output <tsv>\n\
+     \t[--dim 128] [--epsilon 3.5] [--delta 1e-5] [--epochs 200]\n\
+     \t[--proximity dw|deg|cn|aa|ra|pa] [--seed 1] [--non-private]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        input: String::new(),
+        output: String::new(),
+        dim: 128,
+        epsilon: 3.5,
+        delta: 1e-5,
+        epochs: 200,
+        proximity: ProximityKind::deepwalk_default(),
+        seed: 1,
+        non_private: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag {
+            "--input" => args.input = value(&mut i)?,
+            "--output" => args.output = value(&mut i)?,
+            "--dim" => args.dim = value(&mut i)?.parse().map_err(|e| format!("--dim: {e}"))?,
+            "--epsilon" => {
+                args.epsilon = value(&mut i)?.parse().map_err(|e| format!("--epsilon: {e}"))?
+            }
+            "--delta" => {
+                args.delta = value(&mut i)?.parse().map_err(|e| format!("--delta: {e}"))?
+            }
+            "--epochs" => {
+                args.epochs = value(&mut i)?.parse().map_err(|e| format!("--epochs: {e}"))?
+            }
+            "--seed" => args.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--proximity" => {
+                args.proximity = match value(&mut i)?.as_str() {
+                    "dw" => ProximityKind::deepwalk_default(),
+                    "deg" => ProximityKind::Degree,
+                    "cn" => ProximityKind::CommonNeighbors,
+                    "aa" => ProximityKind::AdamicAdar,
+                    "ra" => ProximityKind::ResourceAllocation,
+                    "pa" => ProximityKind::PreferentialAttachment,
+                    other => return Err(format!("unknown proximity {other:?}")),
+                }
+            }
+            "--non-private" => args.non_private = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+        i += 1;
+    }
+    if args.input.is_empty() || args.output.is_empty() {
+        return Err(format!("--input and --output are required\n{}", usage()));
+    }
+    Ok(args)
+}
+
+#[allow(clippy::needless_range_loop)]
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (g, id_map) = match sp_graph::io::read_edge_list_file(&args.input) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("failed to read {}: {e}", args.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "loaded {}: {} nodes, {} edges",
+        args.input,
+        g.num_nodes(),
+        g.num_edges()
+    );
+
+    let mut builder = SePrivGEmb::builder()
+        .dim(args.dim)
+        .epochs(args.epochs)
+        .proximity(args.proximity)
+        .seed(args.seed);
+    if args.non_private {
+        builder = builder.strategy(PerturbStrategy::None);
+    } else {
+        builder = builder.epsilon(args.epsilon).delta(args.delta);
+    }
+    let result = builder.build().fit(&g);
+    eprintln!(
+        "trained: {} epochs ({} steps), ε spent = {:.4}, stopped by budget: {}",
+        result.report.epochs_run,
+        result.report.steps_run,
+        result.report.epsilon_spent,
+        result.report.stopped_by_budget
+    );
+
+    // Invert the id map so output rows carry the original ids.
+    let mut original: Vec<u64> = vec![0; g.num_nodes()];
+    for (&orig, &dense) in &id_map {
+        original[dense as usize] = orig;
+    }
+    let emb = result.embeddings();
+    let out = match std::fs::File::create(&args.output) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot create {}: {e}", args.output);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut w = std::io::BufWriter::new(out);
+    for v in 0..g.num_nodes() {
+        let mut line = original[v].to_string();
+        for x in emb.row(v) {
+            line.push('\t');
+            line.push_str(&format!("{x:.6}"));
+        }
+        if writeln!(w, "{line}").is_err() {
+            eprintln!("write error on {}", args.output);
+            return ExitCode::FAILURE;
+        }
+    }
+    if w.flush().is_err() {
+        eprintln!("flush error on {}", args.output);
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "wrote {} embeddings of dimension {} to {}",
+        g.num_nodes(),
+        args.dim,
+        args.output
+    );
+    ExitCode::SUCCESS
+}

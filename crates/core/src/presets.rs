@@ -1,0 +1,106 @@
+//! Ready-made configurations reproducing the paper's experimental
+//! setups (§VI-A): "we set the same parameters for structural
+//! equivalence and link prediction except for the training epochs
+//! (200 vs 2000)".
+
+use crate::pipeline::{SePrivGEmb, SePrivGEmbBuilder};
+use sp_proximity::ProximityKind;
+
+/// The paper's common parameter block: r=128, k=5, B=128, η=0.1, C=2,
+/// σ=5, δ=1e-5.
+fn paper_base(epsilon: f64) -> SePrivGEmbBuilder {
+    SePrivGEmb::builder()
+        .dim(128)
+        .negatives(5)
+        .batch_size(128)
+        .learning_rate(0.1)
+        .clip(2.0)
+        .sigma(5.0)
+        .delta(1e-5)
+        .epsilon(epsilon)
+}
+
+/// `SE-PrivGEmb_DW` for structural equivalence (200 epochs).
+pub fn strucequ_dw(epsilon: f64, seed: u64) -> SePrivGEmb {
+    paper_base(epsilon)
+        .proximity(ProximityKind::deepwalk_default())
+        .epochs(200)
+        .seed(seed)
+        .build()
+}
+
+/// `SE-PrivGEmb_Deg` for structural equivalence (200 epochs).
+pub fn strucequ_deg(epsilon: f64, seed: u64) -> SePrivGEmb {
+    paper_base(epsilon)
+        .proximity(ProximityKind::Degree)
+        .epochs(200)
+        .seed(seed)
+        .build()
+}
+
+/// `SE-PrivGEmb_DW` for link prediction (2000 epochs).
+pub fn linkpred_dw(epsilon: f64, seed: u64) -> SePrivGEmb {
+    paper_base(epsilon)
+        .proximity(ProximityKind::deepwalk_default())
+        .epochs(2000)
+        .seed(seed)
+        .build()
+}
+
+/// `SE-PrivGEmb_Deg` for link prediction (2000 epochs).
+pub fn linkpred_deg(epsilon: f64, seed: u64) -> SePrivGEmb {
+    paper_base(epsilon)
+        .proximity(ProximityKind::Degree)
+        .epochs(2000)
+        .seed(seed)
+        .build()
+}
+
+/// The ε grid of Figs. 3–4: `{0.5, 1, 1.5, 2, 2.5, 3, 3.5}`.
+pub fn epsilon_grid() -> [f64; 7] {
+    [0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_skipgram::PerturbStrategy;
+
+    #[test]
+    fn presets_match_paper_parameters() {
+        let m = strucequ_dw(3.5, 1);
+        let c = m.train_config();
+        assert_eq!(c.dim, 128);
+        assert_eq!(c.negatives, 5);
+        assert_eq!(c.batch_size, 128);
+        assert_eq!(c.learning_rate, 0.1);
+        assert_eq!(c.clip, 2.0);
+        assert_eq!(c.sigma, 5.0);
+        assert_eq!(c.delta, 1e-5);
+        assert_eq!(c.epochs, 200);
+        assert_eq!(c.strategy, PerturbStrategy::NonZero);
+        assert_eq!(m.proximity_kind(), ProximityKind::deepwalk_default());
+    }
+
+    #[test]
+    fn linkpred_presets_use_2000_epochs() {
+        assert_eq!(linkpred_dw(1.0, 1).train_config().epochs, 2000);
+        assert_eq!(linkpred_deg(1.0, 1).train_config().epochs, 2000);
+    }
+
+    #[test]
+    fn deg_preset_uses_degree_proximity() {
+        assert_eq!(strucequ_deg(1.0, 1).proximity_kind(), ProximityKind::Degree);
+    }
+
+    #[test]
+    fn epsilon_grid_matches_paper() {
+        let g = epsilon_grid();
+        assert_eq!(g.len(), 7);
+        assert_eq!(g[0], 0.5);
+        assert_eq!(g[6], 3.5);
+        for w in g.windows(2) {
+            assert!((w[1] - w[0] - 0.5).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # sp-datasets
+//!
+//! Synthetic graph generators and seeded stand-ins for the paper's six
+//! evaluation datasets.
+//!
+//! The real datasets (Chameleon, PPI, Power, Arxiv, BlogCatalog, DBLP)
+//! are external downloads; this crate generates graphs with the *same
+//! node and edge counts* and the matching topology family, per the
+//! substitution policy in DESIGN.md. If you have the real edge lists,
+//! load them with `sp_graph::io::read_edge_list_file` — every
+//! downstream API takes a plain [`sp_graph::Graph`].
+//!
+//! - [`generators`]: Erdős–Rényi, Barabási–Albert, Holme–Kim
+//!   (power-law + clustering), Watts–Strogatz, and random-tree-plus-
+//!   shortcuts, all steerable to an exact edge count;
+//! - [`paper`]: the six named stand-ins with their published sizes
+//!   and a scale knob for quick runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod paper;
+
+pub use paper::PaperDataset;

@@ -1,0 +1,102 @@
+//! ℓ2 clipping of per-example gradients (Eq. 3 of the paper).
+//!
+//! The subtlety in skip-gram is that one training example (a subgraph
+//! `S_b` from Algorithm 1) produces a gradient that lives in several
+//! non-contiguous rows: one row of `W_in` (the centre vector `v_i`,
+//! Eq. 7) and `k+1` rows of `W_out` (the positive and negative context
+//! vectors, Eq. 8). DPSGD clips *the whole per-example gradient* to
+//! norm `C`, so the norm must be taken jointly over all the parts —
+//! clipping each row independently would change the sensitivity
+//! analysis. [`clip_parts`] implements exactly that joint clip.
+
+use sp_linalg::vector;
+
+/// Joint Euclidean norm over a collection of disjoint gradient parts.
+pub fn parts_norm(parts: &[&[f64]]) -> f64 {
+    parts.iter().map(|p| vector::norm2_sq(p)).sum::<f64>().sqrt()
+}
+
+/// Clips the concatenation of `parts` to joint ℓ2 norm at most `c`,
+/// scaling every part by the same factor (DPSGD's `Clip`, Eq. 3).
+/// Returns the factor applied (`1.0` when under the threshold).
+pub fn clip_parts(parts: &mut [&mut [f64]], c: f64) -> f64 {
+    assert!(c > 0.0, "clip threshold must be positive, got {c}");
+    let norm = parts
+        .iter()
+        .map(|p| vector::norm2_sq(p))
+        .sum::<f64>()
+        .sqrt();
+    if norm > c {
+        let f = c / norm;
+        for p in parts.iter_mut() {
+            vector::scale(f, p);
+        }
+        f
+    } else {
+        1.0
+    }
+}
+
+/// Clips a single contiguous gradient (`Clip(g) = g / max(1, ‖g‖₂/C)`).
+pub fn clip_single(g: &mut [f64], c: f64) -> f64 {
+    vector::clip_norm(g, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joint_norm_over_parts() {
+        let a = [3.0, 0.0];
+        let b = [0.0, 4.0];
+        assert!((parts_norm(&[&a, &b]) - 5.0).abs() < 1e-12);
+        assert_eq!(parts_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn clip_parts_is_joint_not_per_part() {
+        // Each part alone has norm 3 < C=4, but jointly 3√2 > 4:
+        // a per-part clip would do nothing; the joint clip must scale.
+        let mut a = [3.0, 0.0];
+        let mut b = [0.0, 3.0];
+        let f = clip_parts(&mut [&mut a, &mut b], 4.0);
+        assert!(f < 1.0);
+        let joint = (a[0] * a[0] + b[1] * b[1]).sqrt();
+        assert!((joint - 4.0).abs() < 1e-12, "joint norm {joint}");
+    }
+
+    #[test]
+    fn clip_parts_noop_under_threshold() {
+        let mut a = [1.0, 0.0];
+        let mut b = [0.0, 1.0];
+        let f = clip_parts(&mut [&mut a, &mut b], 10.0);
+        assert_eq!(f, 1.0);
+        assert_eq!(a, [1.0, 0.0]);
+        assert_eq!(b, [0.0, 1.0]);
+    }
+
+    #[test]
+    fn clip_parts_uniform_scaling_preserves_direction() {
+        let mut a = [2.0, -2.0];
+        let mut b = [1.0, 5.0];
+        let orig_ratio = a[0] / b[1];
+        clip_parts(&mut [&mut a, &mut b], 0.5);
+        assert!((a[0] / b[1] - orig_ratio).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_single_matches_dpsgd_formula() {
+        let mut g = vec![6.0, 8.0]; // norm 10
+        let f = clip_single(&mut g, 2.0);
+        assert!((f - 0.2).abs() < 1e-12);
+        assert!((vector::norm2(&g) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_nonpositive_threshold() {
+        let mut a = [1.0];
+        clip_parts(&mut [&mut a], -1.0);
+    }
+}

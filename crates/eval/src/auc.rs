@@ -1,0 +1,117 @@
+//! Area under the ROC curve via the Mann–Whitney U statistic.
+//!
+//! `AUC = P(score(positive) > score(negative)) + ½·P(tie)` — computed
+//! exactly by ranking the pooled scores with midrank tie handling,
+//! `O((m+n) log(m+n))`. This is the standard estimator and matches
+//! `sklearn.roc_auc_score` to floating-point precision.
+
+/// Computes AUC from positive- and negative-class scores.
+///
+/// Returns `None` when either class is empty.
+pub fn auc_from_scores(pos: &[f64], neg: &[f64]) -> Option<f64> {
+    if pos.is_empty() || neg.is_empty() {
+        return None;
+    }
+    let m = pos.len();
+    let n = neg.len();
+    // Pool with labels, sort ascending by score.
+    let mut pooled: Vec<(f64, bool)> = pos
+        .iter()
+        .map(|&s| (s, true))
+        .chain(neg.iter().map(|&s| (s, false)))
+        .collect();
+    pooled.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("scores must not be NaN"));
+
+    // Midranks with tie groups.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0usize;
+    while i < pooled.len() {
+        let mut j = i;
+        while j + 1 < pooled.len() && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        // Ranks are 1-based: group spans ranks i+1 ..= j+1.
+        let midrank = (i + 1 + j + 1) as f64 / 2.0;
+        for item in &pooled[i..=j] {
+            if item.1 {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - m as f64 * (m as f64 + 1.0) / 2.0;
+    Some(u / (m as f64 * n as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_is_one() {
+        let auc = auc_from_scores(&[0.9, 0.8, 0.7], &[0.3, 0.2, 0.1]).unwrap();
+        assert_eq!(auc, 1.0);
+    }
+
+    #[test]
+    fn reversed_separation_is_zero() {
+        let auc = auc_from_scores(&[0.1, 0.2], &[0.8, 0.9]).unwrap();
+        assert_eq!(auc, 0.0);
+    }
+
+    #[test]
+    fn identical_scores_give_half() {
+        let auc = auc_from_scores(&[0.5, 0.5, 0.5], &[0.5, 0.5]).unwrap();
+        assert!((auc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_hand_computed_value() {
+        // pos = [3, 1], neg = [2]. Pairs: (3>2)=1, (1<2)=0 ⇒ AUC = 0.5.
+        let auc = auc_from_scores(&[3.0, 1.0], &[2.0]).unwrap();
+        assert!((auc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_ties_use_midranks() {
+        // pos = [2, 1], neg = [2, 0].
+        // Pairs: (2 vs 2)=0.5, (2 vs 0)=1, (1 vs 2)=0, (1 vs 0)=1
+        // ⇒ AUC = 2.5/4 = 0.625.
+        let auc = auc_from_scores(&[2.0, 1.0], &[2.0, 0.0]).unwrap();
+        assert!((auc - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agrees_with_naive_pair_counting() {
+        // Pseudorandom fixed scores; compare with the O(mn) definition.
+        let pos: Vec<f64> = (0..40).map(|i| ((i * 37 + 11) % 97) as f64 / 97.0).collect();
+        let neg: Vec<f64> = (0..60).map(|i| ((i * 53 + 29) % 89) as f64 / 89.0).collect();
+        let fast = auc_from_scores(&pos, &neg).unwrap();
+        let mut acc = 0.0;
+        for &p in &pos {
+            for &n in &neg {
+                acc += if p > n {
+                    1.0
+                } else if p == n {
+                    0.5
+                } else {
+                    0.0
+                };
+            }
+        }
+        let naive = acc / (pos.len() * neg.len()) as f64;
+        assert!((fast - naive).abs() < 1e-12, "fast {fast} vs naive {naive}");
+    }
+
+    #[test]
+    fn empty_classes_are_none() {
+        assert_eq!(auc_from_scores(&[], &[1.0]), None);
+        assert_eq!(auc_from_scores(&[1.0], &[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_scores_panic() {
+        auc_from_scores(&[f64::NAN], &[0.0]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Flat slice kernels.
+//!
+//! These functions sit in the innermost loops of skip-gram training
+//! (`dot` + `axpy` per positive/negative sample per step), so they are
+//! written as straight indexed loops that LLVM auto-vectorises, with
+//! debug-only shape assertions.
+
+/// Inner product of two equal-length slices.
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let mut acc = 0.0;
+    for i in 0..x.len().min(y.len()) {
+        acc += x[i] * y[i];
+    }
+    acc
+}
+
+/// `y += alpha * x` (the BLAS `axpy` kernel).
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    let n = x.len().min(y.len());
+    for i in 0..n {
+        y[i] += alpha * x[i];
+    }
+}
+
+/// `x *= alpha` in place.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for v in x.iter_mut() {
+        *v *= alpha;
+    }
+}
+
+/// Squared Euclidean norm.
+#[inline]
+pub fn norm2_sq(x: &[f64]) -> f64 {
+    dot(x, x)
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    norm2_sq(x).sqrt()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+#[inline]
+pub fn dist2_sq(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len(), "dist2_sq: length mismatch");
+    let mut acc = 0.0;
+    for i in 0..x.len().min(y.len()) {
+        let d = x[i] - y[i];
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean distance between two equal-length slices.
+#[inline]
+pub fn dist2(x: &[f64], y: &[f64]) -> f64 {
+    dist2_sq(x, y).sqrt()
+}
+
+/// Numerically-stable logistic sigmoid `1 / (1 + e^{-x})`.
+///
+/// For large `|x|` the naive expression overflows `exp`; the two-branch
+/// form never evaluates `exp` on a positive argument.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        let z = (-x).exp();
+        1.0 / (1.0 + z)
+    } else {
+        let z = x.exp();
+        z / (1.0 + z)
+    }
+}
+
+/// `log(sigmoid(x))` computed without intermediate overflow/underflow.
+///
+/// Used by the skip-gram loss: `log σ(x) = -log(1 + e^{-x})` for
+/// `x >= 0` and `x - log(1 + e^{x})` otherwise (the "softplus" trick).
+#[inline]
+pub fn log_sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        -(-x).exp().ln_1p()
+    } else {
+        x - x.exp().ln_1p()
+    }
+}
+
+/// Rescales `x` so that its Euclidean norm is at most `max_norm`
+/// (the DPSGD clipping kernel). Returns the scaling factor applied
+/// (`1.0` when no clipping happened).
+#[inline]
+pub fn clip_norm(x: &mut [f64], max_norm: f64) -> f64 {
+    assert!(max_norm > 0.0, "clip_norm: max_norm must be positive");
+    let n = norm2(x);
+    if n > max_norm {
+        let f = max_norm / n;
+        scale(f, x);
+        f
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = vec![1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, vec![-3.0, 6.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm2_sq(&[3.0, 4.0]), 25.0);
+        assert_eq!(norm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(dist2_sq(&[1.0], &[4.0]), 9.0);
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+        for &x in &[-50.0, -3.0, -0.1, 0.1, 3.0, 50.0] {
+            let s = sigmoid(x);
+            // Note sigmoid(50) rounds to exactly 1.0 in f64; only the
+            // closed interval is guaranteed at the extremes.
+            assert!((0.0..=1.0).contains(&s), "sigmoid({x}) = {s} out of [0,1]");
+            assert!((s + sigmoid(-x) - 1.0).abs() < 1e-12);
+        }
+        for &x in &[-3.0, -0.1, 0.1, 3.0] {
+            let s = sigmoid(x);
+            assert!(s > 0.0 && s < 1.0, "sigmoid({x}) = {s} not strictly interior");
+        }
+    }
+
+    #[test]
+    fn sigmoid_extremes_do_not_overflow() {
+        assert!((sigmoid(1000.0) - 1.0).abs() < 1e-12);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!(sigmoid(-1000.0) < 1e-12);
+    }
+
+    #[test]
+    fn log_sigmoid_matches_naive_in_safe_range() {
+        for &x in &[-20.0, -1.0, 0.0, 1.0, 20.0] {
+            let naive = sigmoid(x).ln();
+            assert!(
+                (log_sigmoid(x) - naive).abs() < 1e-10,
+                "x={x}: {} vs {}",
+                log_sigmoid(x),
+                naive
+            );
+        }
+        // And stays finite where the naive form underflows to ln(0).
+        assert!(log_sigmoid(-800.0).is_finite());
+        assert!((log_sigmoid(-800.0) - (-800.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_norm_clips_only_above_threshold() {
+        let mut x = vec![3.0, 4.0];
+        let f = clip_norm(&mut x, 10.0);
+        assert_eq!(f, 1.0);
+        assert_eq!(x, vec![3.0, 4.0]);
+
+        let f = clip_norm(&mut x, 1.0);
+        assert!((f - 0.2).abs() < 1e-15);
+        assert!((norm2(&x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_norm must be positive")]
+    fn clip_norm_rejects_nonpositive_threshold() {
+        let mut x = vec![1.0];
+        clip_norm(&mut x, 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the NN substrate: gradient correctness over
+//! random architectures and inputs, DP bookkeeping invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sp_linalg::DenseMatrix;
+use sp_nn::{loss, Activation, Linear, Mlp};
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-2.0f64..2.0, rows * cols)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn linear_dx_matches_fd(seed in 0u64..1000, xs in matrix(2, 3)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layer = Linear::new(3, 2, &mut rng);
+        let x = DenseMatrix::from_vec(2, 3, xs);
+        let dy = DenseMatrix::from_vec(2, 2, vec![1.0; 4]);
+        let dx = layer.backward(&x, &dy);
+        let h = 1e-6;
+        let loss_of = |layer: &Linear, x: &DenseMatrix| -> f64 {
+            layer.forward(x).as_slice().iter().sum()
+        };
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut xp = x.clone();
+                xp.set(r, c, x.get(r, c) + h);
+                let mut xm = x.clone();
+                xm.set(r, c, x.get(r, c) - h);
+                let fd = (loss_of(&layer, &xp) - loss_of(&layer, &xm)) / (2.0 * h);
+                prop_assert!((dx.get(r, c) - fd).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn mlp_grad_clip_invariant(seed in 0u64..1000, c in 0.01f64..5.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Mlp::new(&[3, 6, 2], &[Activation::Tanh, Activation::Identity], &mut rng);
+        let x = DenseMatrix::uniform(2, 3, -1.0, 1.0, &mut rng);
+        let target = DenseMatrix::uniform(2, 2, -5.0, 5.0, &mut rng);
+        let y = m.forward(&x);
+        let (_, dy) = loss::mse(&y, &target);
+        m.backward(&dy);
+        m.clip_grads(c);
+        prop_assert!(m.grad_norm() <= c + 1e-9);
+    }
+
+    #[test]
+    fn bce_loss_nonnegative_and_grad_bounded(
+        zs in proptest::collection::vec(-30.0f64..30.0, 1..12),
+        labels in proptest::collection::vec(0u8..2, 1..12),
+    ) {
+        let n = zs.len().min(labels.len());
+        let z = DenseMatrix::from_vec(1, n, zs[..n].to_vec());
+        let y = DenseMatrix::from_vec(1, n, labels[..n].iter().map(|&b| b as f64).collect());
+        let (l, g) = loss::bce_with_logits(&z, &y);
+        prop_assert!(l >= 0.0);
+        // Per-element gradient magnitude is at most 1/n.
+        for &gv in g.as_slice() {
+            prop_assert!(gv.abs() <= 1.0 / n as f64 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn kl_is_nonnegative(
+        mus in proptest::collection::vec(-3.0f64..3.0, 1..8),
+        lvs in proptest::collection::vec(-2.0f64..2.0, 1..8),
+    ) {
+        let n = mus.len().min(lvs.len());
+        let mu = DenseMatrix::from_vec(1, n, mus[..n].to_vec());
+        let lv = DenseMatrix::from_vec(1, n, lvs[..n].to_vec());
+        let (l, _, _) = loss::kl_standard_normal(&mu, &lv);
+        prop_assert!(l >= -1e-12, "KL must be non-negative, got {l}");
+    }
+
+    #[test]
+    fn sgd_with_zero_grads_is_identity(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Mlp::new(&[2, 3, 1], &[Activation::Relu, Activation::Identity], &mut rng);
+        let before: Vec<f64> = m.layer(0).w.as_slice().to_vec();
+        m.flush_grads(); // nothing accumulated
+        m.step_sgd(0.5, 4);
+        prop_assert_eq!(m.layer(0).w.as_slice().to_vec(), before);
+    }
+}

@@ -1,0 +1,128 @@
+//! Degree-family proximities: preferential attachment / degree
+//! proximity.
+//!
+//! The paper's complexity analysis (§V-B) states that "computing node
+//! degree proximity takes `O(|V |)` time" — i.e. the measure is a
+//! closed form in the endpoint degrees and never materialises a
+//! matrix. We define it as the normalised preferential-attachment
+//! score
+//!
+//! ```text
+//! p_ij = d_i · d_j / 2|E|
+//! ```
+//!
+//! (Barabási–Albert's attachment kernel, normalised by the total
+//! degree mass so weights stay `O(average degree)`; the constant
+//! cancels inside Theorem 3's `p_ij / min(P)` ratio, so any positive
+//! normalisation yields the same optimal embedding up to shift).
+//! `SE-PrivGEmb_Deg` in the experiments is exactly this preference.
+
+use sp_graph::Graph;
+
+/// Degree proximity of an arbitrary pair: `d_i d_j / 2|E|`.
+///
+/// Returns `0.0` when either endpoint is isolated or the graph has no
+/// edges.
+pub fn degree_score(g: &Graph, i: u32, j: u32) -> f64 {
+    let m2 = 2.0 * g.num_edges() as f64;
+    if m2 == 0.0 {
+        return 0.0;
+    }
+    g.degree(i) as f64 * g.degree(j) as f64 / m2
+}
+
+/// Edge weights `p_ij` for every edge of `g`, plus the global
+/// `min(P) = min{p_ij > 0}` over **all pairs** (not just edges):
+/// the product of the two smallest positive degrees, normalised.
+///
+/// Note for pairs of adjacent nodes the degrees are at least 1, so
+/// edge weights are always positive.
+pub fn degree_edge_weights(g: &Graph) -> (Vec<f64>, f64) {
+    let m2 = 2.0 * g.num_edges() as f64;
+    if g.num_edges() == 0 {
+        return (Vec::new(), 1.0);
+    }
+    let weights = g
+        .edges()
+        .iter()
+        .map(|&(u, v)| g.degree(u) as f64 * g.degree(v) as f64 / m2)
+        .collect();
+
+    // min over the full matrix support: two smallest positive degrees.
+    let mut d1 = usize::MAX; // smallest positive degree
+    let mut d2 = usize::MAX; // second smallest positive degree
+    for v in 0..g.num_nodes() {
+        let d = g.degree(v as u32);
+        if d == 0 {
+            continue;
+        }
+        if d < d1 {
+            d2 = d1;
+            d1 = d;
+        } else if d < d2 {
+            d2 = d;
+        }
+    }
+    let min_positive = if d2 == usize::MAX {
+        // Fewer than two non-isolated nodes can only happen in a graph
+        // with no edges, handled above; keep a safe fallback.
+        1.0 / m2
+    } else {
+        (d1 as f64) * (d2 as f64) / m2
+    };
+    (weights, min_positive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_score_closed_form() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+        // d0 = 3, leaves have degree 1, 2|E| = 6.
+        assert!((degree_score(&g, 0, 1) - 0.5).abs() < 1e-12);
+        assert!((degree_score(&g, 1, 2) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_node_scores_zero() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        assert_eq!(degree_score(&g, 0, 2), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_scores_zero() {
+        let g = Graph::from_edges(2, std::iter::empty());
+        assert_eq!(degree_score(&g, 0, 1), 0.0);
+        let (w, _) = degree_edge_weights(&g);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn edge_weights_match_score() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]);
+        let (w, _) = degree_edge_weights(&g);
+        for (e, &(u, v)) in g.edges().iter().enumerate() {
+            assert!((w[e] - degree_score(&g, u, v)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn min_positive_is_two_smallest_degrees() {
+        // Star + pendant chain: degrees 3,1,1,2,1 (node 3 bridges).
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (3, 4)]);
+        let (_, minp) = degree_edge_weights(&g);
+        // Two smallest positive degrees are 1 and 1; 2|E| = 8.
+        assert!((minp - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_positive_lower_bounds_edge_weights() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)]);
+        let (w, minp) = degree_edge_weights(&g);
+        for &x in &w {
+            assert!(x >= minp - 1e-12, "edge weight {x} below min(P) {minp}");
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! # sp-proximity
+//!
+//! Node-proximity measures (Definition 4 of the paper): the
+//! "structure preference" knob of SE-PrivGEmb. A proximity `p_ij`
+//! quantifies a structural relationship between nodes; the trainer
+//! weights each observed edge's skip-gram loss by `p_ij` (Eq. 5) and
+//! Theorem 3 shows the learned inner products converge to
+//! `log(p_ij / (k·min(P)))`.
+//!
+//! Implemented measures, following the paper's taxonomy (§II-D):
+//!
+//! - **first-order** (one-hop): common neighbours, preferential
+//!   attachment;
+//! - **second-order** (two-hop): Adamic–Adar, resource allocation;
+//! - **high-order** (whole graph): truncated Katz, personalised
+//!   PageRank, and the DeepWalk proximity of Yang et al. \[22\]
+//!   (`M = (1/T) Σ_{t=1..T} Â^t` with row-normalised `Â`), which is
+//!   the `SE-PrivGEmb_DW` configuration of the experiments;
+//! - **degree** proximity (`SE-PrivGEmb_Deg`): `p_ij = d_i d_j / 2|E|`,
+//!   computable in `O(|V|)` as the paper's complexity analysis states.
+//!
+//! Two consumption modes:
+//! - [`EdgeProximity`]: weights for the training edges only, plus the
+//!   `min(P)` constant — all the trainer needs;
+//! - [`proximity_matrix`]: the full sparse matrix, for the Theorem 3
+//!   machinery and for analysis on small/medium graphs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod degree;
+pub mod neighborhood;
+pub mod walk;
+
+use sp_graph::Graph;
+use sp_linalg::{CooBuilder, CsrMatrix};
+
+/// Which proximity measure to use (the "structure preference").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ProximityKind {
+    /// `|N(i) ∩ N(j)|` — first-order.
+    CommonNeighbors,
+    /// `d_i · d_j / 2|E|` over all pairs — first-order. Dense in
+    /// principle; only edge weights / `min(P)` are materialised.
+    PreferentialAttachment,
+    /// `Σ_{w ∈ N(i)∩N(j)} 1/ln d_w` — second-order.
+    AdamicAdar,
+    /// `Σ_{w ∈ N(i)∩N(j)} 1/d_w` — second-order.
+    ResourceAllocation,
+    /// Truncated Katz index `Σ_{l=1..max_len} β^l (A^l)_ij` — high-order.
+    Katz {
+        /// Attenuation factor (must satisfy `β < 1/λ_max` for the full
+        /// series; the truncation keeps any `β ∈ (0,1)` finite).
+        beta: f64,
+        /// Path-length truncation (≥ 1).
+        max_len: usize,
+    },
+    /// Personalised-PageRank matrix `α Σ_t (1-α)^t Â^t`, truncated.
+    Ppr {
+        /// Restart probability `α ∈ (0,1)`.
+        alpha: f64,
+        /// Number of power-iteration terms (≥ 1).
+        iters: usize,
+    },
+    /// DeepWalk proximity `M = (1/T) Σ_{t=1..T} Â^t` (Yang et al.).
+    DeepWalk {
+        /// Walk window `T ≥ 1` (the paper's experiments use `T = 2`).
+        window: usize,
+    },
+    /// Degree proximity `d_i d_j / 2|E|`, the `O(|V|)` preference.
+    Degree,
+}
+
+impl ProximityKind {
+    /// The paper's `SE-PrivGEmb_DW` preference (window-2 DeepWalk).
+    pub fn deepwalk_default() -> Self {
+        ProximityKind::DeepWalk { window: 2 }
+    }
+
+    /// Short label used in experiment outputs (`DW`, `Deg`, ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProximityKind::CommonNeighbors => "CN",
+            ProximityKind::PreferentialAttachment => "PA",
+            ProximityKind::AdamicAdar => "AA",
+            ProximityKind::ResourceAllocation => "RA",
+            ProximityKind::Katz { .. } => "Katz",
+            ProximityKind::Ppr { .. } => "PPR",
+            ProximityKind::DeepWalk { .. } => "DW",
+            ProximityKind::Degree => "Deg",
+        }
+    }
+}
+
+/// Per-edge proximity weights for a graph, plus the constants the
+/// trainer and Theorem 3 need.
+///
+/// Weights are **mean-normalised**: the raw measure is rescaled so
+/// the average edge weight is 1. Scaling a proximity matrix by a
+/// positive constant is theory-neutral — Theorem 3's optimum
+/// `log(p_ij / (k·min(P)))` is invariant because `min(P)` scales by
+/// the same constant — but it decouples the *effective learning rate*
+/// from the measure's arbitrary magnitude (DeepWalk-proximity entries
+/// are `O(1/degree)`, degree-proximity entries `O(avg degree)`), which
+/// is what lets the paper use a single `η = 0.1` for both variants.
+#[derive(Clone, Debug)]
+pub struct EdgeProximity {
+    /// `weights[e]` is the normalised `p_ij` for `g.edges()[e]`.
+    pub weights: Vec<f64>,
+    /// `min(P) = min{p_ij > 0}` over the *full* proximity matrix
+    /// support (not just the edges), normalised by the same factor —
+    /// Theorem 3's constant.
+    pub min_positive: f64,
+    /// Which measure produced this.
+    pub kind: ProximityKind,
+}
+
+impl EdgeProximity {
+    /// Computes mean-normalised edge weights for `kind` on `g`.
+    ///
+    /// For matrix-backed measures this builds the sparse matrix once
+    /// and reads off the edge entries; for the degree family it is a
+    /// closed form in the degrees.
+    pub fn compute(g: &Graph, kind: ProximityKind) -> Self {
+        let (raw_weights, raw_min): (Vec<f64>, f64) = match kind {
+            ProximityKind::PreferentialAttachment | ProximityKind::Degree => {
+                degree::degree_edge_weights(g)
+            }
+            _ => {
+                let m = proximity_matrix(g, kind);
+                let min_positive = m.min_positive().unwrap_or(1.0);
+                let weights = g
+                    .edges()
+                    .iter()
+                    .map(|&(u, v)| m.get(u as usize, v as usize))
+                    .collect();
+                (weights, min_positive)
+            }
+        };
+        Self::from_raw(raw_weights, raw_min, kind)
+    }
+
+    /// Mean-normalises raw weights (exposed for tests and custom
+    /// proximity measures).
+    pub fn from_raw(raw_weights: Vec<f64>, raw_min: f64, kind: ProximityKind) -> Self {
+        let mean = if raw_weights.is_empty() {
+            1.0
+        } else {
+            raw_weights.iter().sum::<f64>() / raw_weights.len() as f64
+        };
+        let scale = if mean > 0.0 { 1.0 / mean } else { 1.0 };
+        let weights = raw_weights.iter().map(|&w| w * scale).collect();
+        Self {
+            weights,
+            min_positive: raw_min * scale,
+            kind,
+        }
+    }
+
+    /// Number of weighted edges.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when the graph had no edges.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Largest edge weight (`0.0` if empty) — used to bound the
+    /// effective gradient scale in the sensitivity discussion.
+    pub fn max_weight(&self) -> f64 {
+        self.weights.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Builds the full sparse proximity matrix for `kind`.
+///
+/// # Panics
+/// Panics for [`ProximityKind::PreferentialAttachment`] and
+/// [`ProximityKind::Degree`], whose matrices are dense by construction
+/// — use [`EdgeProximity::compute`] or [`degree::degree_score`].
+pub fn proximity_matrix(g: &Graph, kind: ProximityKind) -> CsrMatrix {
+    match kind {
+        ProximityKind::CommonNeighbors => neighborhood::common_neighbors_matrix(g),
+        ProximityKind::AdamicAdar => neighborhood::adamic_adar_matrix(g),
+        ProximityKind::ResourceAllocation => neighborhood::resource_allocation_matrix(g),
+        ProximityKind::Katz { beta, max_len } => walk::katz_matrix(g, beta, max_len),
+        ProximityKind::Ppr { alpha, iters } => walk::ppr_matrix(g, alpha, iters),
+        ProximityKind::DeepWalk { window } => walk::deepwalk_matrix(g, window),
+        ProximityKind::PreferentialAttachment | ProximityKind::Degree => {
+            panic!(
+                "{:?} has a dense matrix; use EdgeProximity::compute or degree::degree_score",
+                kind
+            )
+        }
+    }
+}
+
+/// Binary adjacency matrix of `g` as CSR.
+pub fn adjacency(g: &Graph) -> CsrMatrix {
+    let n = g.num_nodes();
+    let mut b = CooBuilder::new(n, n);
+    for &(u, v) in g.edges() {
+        b.push(u as usize, v as usize, 1.0);
+        b.push(v as usize, u as usize, 1.0);
+    }
+    b.build()
+}
+
+/// Row-normalised adjacency (random-walk transition matrix `Â`).
+pub fn normalized_adjacency(g: &Graph) -> CsrMatrix {
+    let mut a = adjacency(g);
+    a.normalize_rows();
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_graph::Graph;
+
+    fn karate_ish() -> Graph {
+        // Small fixed graph: two triangles bridged by an edge.
+        //   0-1, 1-2, 0-2   3-4, 4-5, 3-5   2-3
+        Graph::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_binary() {
+        let g = karate_ish();
+        let a = adjacency(&g);
+        assert!(a.is_symmetric());
+        assert_eq!(a.nnz(), 2 * g.num_edges());
+        for (_, _, v) in a.iter() {
+            assert_eq!(v, 1.0);
+        }
+    }
+
+    #[test]
+    fn normalized_adjacency_is_stochastic() {
+        let g = karate_ish();
+        let a = normalized_adjacency(&g);
+        for i in 0..g.num_nodes() {
+            let s = a.row_sum(i);
+            assert!((s - 1.0).abs() < 1e-12, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn edge_proximity_positive_on_deepwalk() {
+        let g = karate_ish();
+        let p = EdgeProximity::compute(&g, ProximityKind::deepwalk_default());
+        assert_eq!(p.len(), g.num_edges());
+        // Every edge (i,j) has Â_ij ≥ 1/d_i > 0, so DW weights are positive.
+        assert!(p.weights.iter().all(|&w| w > 0.0));
+        assert!(p.min_positive > 0.0);
+        assert!(p.max_weight() >= p.min_positive);
+    }
+
+    #[test]
+    fn edge_proximity_degree_matches_closed_form_up_to_normalisation() {
+        let g = karate_ish();
+        let p = EdgeProximity::compute(&g, ProximityKind::Degree);
+        // Mean weight is 1 after normalisation.
+        let mean: f64 = p.weights.iter().sum::<f64>() / p.weights.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-12);
+        // Ratios match the closed form exactly.
+        let raw: Vec<f64> = g
+            .edges()
+            .iter()
+            .map(|&(u, v)| g.degree(u) as f64 * g.degree(v) as f64)
+            .collect();
+        for e in 1..raw.len() {
+            assert!(
+                (p.weights[e] / p.weights[0] - raw[e] / raw[0]).abs() < 1e-12,
+                "edge {e}: ratio mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn normalisation_preserves_theorem3_optimum() {
+        // x* = log(p / (k min P)) must be identical before and after
+        // mean-normalisation.
+        let g = karate_ish();
+        let p = EdgeProximity::compute(&g, ProximityKind::deepwalk_default());
+        let m = proximity_matrix(&g, ProximityKind::deepwalk_default());
+        let raw_min = m.min_positive().unwrap();
+        let k = 5.0;
+        for (e, &(u, v)) in g.edges().iter().enumerate() {
+            let raw = m.get(u as usize, v as usize);
+            let x_raw = (raw / (k * raw_min)).ln();
+            let x_norm = (p.weights[e] / (k * p.min_positive)).ln();
+            assert!(
+                (x_raw - x_norm).abs() < 1e-12,
+                "edge {e}: {x_raw} vs {x_norm}"
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ProximityKind::deepwalk_default().label(), "DW");
+        assert_eq!(ProximityKind::Degree.label(), "Deg");
+        assert_eq!(ProximityKind::CommonNeighbors.label(), "CN");
+    }
+
+    #[test]
+    #[should_panic(expected = "dense matrix")]
+    fn dense_kinds_refuse_matrix_form() {
+        proximity_matrix(&karate_ish(), ProximityKind::Degree);
+    }
+
+    #[test]
+    fn min_positive_is_global_not_edge_restricted() {
+        // Path 0-1-2: DW window 2 gives positive proximity to the
+        // non-edge (0,2); min(P) must consider it. Compare in ratio
+        // form since EdgeProximity is mean-normalised.
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let m = proximity_matrix(&g, ProximityKind::deepwalk_default());
+        let p = EdgeProximity::compute(&g, ProximityKind::deepwalk_default());
+        assert!(m.get(0, 2) > 0.0);
+        // min over the full support is <= the smallest *edge* weight.
+        let min_edge = p.weights.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(p.min_positive <= min_edge + 1e-12);
+        // And the normalised min reflects the raw global min ratio.
+        let raw_min = m.min_positive().unwrap();
+        let raw_edge0 = m.get(
+            g.edges()[0].0 as usize,
+            g.edges()[0].1 as usize,
+        );
+        assert!(
+            (p.min_positive / p.weights[0] - raw_min / raw_edge0).abs() < 1e-12
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Neighbourhood-overlap proximities: common neighbours, Adamic–Adar,
+//! resource allocation.
+//!
+//! All three share the same support (pairs of nodes at distance ≤ 2)
+//! and the same computation pattern: enumerate *wedges* — for every
+//! centre node `w`, every pair of distinct neighbours `(i, j)` of `w`
+//! receives a contribution `f(w)`. The work is `Σ_w d_w (d_w - 1) / 2`,
+//! which is fine for the sparse/medium graphs these measures are meant
+//! for; for hub-heavy graphs prefer the degree or DeepWalk proximities
+//! (see the complexity discussion in DESIGN.md).
+
+use sp_graph::{Graph, NodeId};
+use sp_linalg::{CooBuilder, CsrMatrix};
+
+/// Shared wedge-enumeration core: `p_ij = Σ_{w ∈ N(i)∩N(j)} weight(w)`.
+fn wedge_matrix(g: &Graph, weight: impl Fn(NodeId) -> f64) -> CsrMatrix {
+    let n = g.num_nodes();
+    let mut b = CooBuilder::new(n, n);
+    for w in 0..n as NodeId {
+        let cw = weight(w);
+        if cw == 0.0 {
+            continue;
+        }
+        let nb = g.neighbors(w);
+        for (a, &i) in nb.iter().enumerate() {
+            for &j in &nb[a + 1..] {
+                b.push(i as usize, j as usize, cw);
+                b.push(j as usize, i as usize, cw);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Common-neighbour counts: `p_ij = |N(i) ∩ N(j)|` for `i ≠ j`.
+pub fn common_neighbors_matrix(g: &Graph) -> CsrMatrix {
+    wedge_matrix(g, |_| 1.0)
+}
+
+/// Adamic–Adar: `p_ij = Σ_{w ∈ N(i)∩N(j)} 1/ln(d_w)`.
+///
+/// Centres of degree 1 cannot close a wedge, and `ln(1) = 0` would
+/// divide by zero anyway; they are skipped. Degree-2+ centres use
+/// `1/ln(d_w)` as defined.
+pub fn adamic_adar_matrix(g: &Graph) -> CsrMatrix {
+    wedge_matrix(g, |w| {
+        let d = g.degree(w);
+        if d >= 2 {
+            1.0 / (d as f64).ln()
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Resource allocation: `p_ij = Σ_{w ∈ N(i)∩N(j)} 1/d_w`.
+pub fn resource_allocation_matrix(g: &Graph) -> CsrMatrix {
+    wedge_matrix(g, |w| {
+        let d = g.degree(w);
+        if d >= 1 {
+            1.0 / d as f64
+        } else {
+            0.0
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_graph::algo;
+
+    /// 4-cycle: 0-1-2-3-0. Opposite corners share exactly 2 neighbours.
+    fn cycle4() -> Graph {
+        Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+    }
+
+    #[test]
+    fn common_neighbors_on_cycle() {
+        let g = cycle4();
+        let m = common_neighbors_matrix(&g);
+        assert_eq!(m.get(0, 2), 2.0); // via 1 and 3
+        assert_eq!(m.get(1, 3), 2.0); // via 0 and 2
+        assert_eq!(m.get(0, 1), 0.0); // adjacent but no triangle
+        assert_eq!(m.get(0, 0), 0.0); // no diagonal
+        assert!(m.is_symmetric());
+    }
+
+    #[test]
+    fn common_neighbors_agrees_with_merge_count() {
+        let g = Graph::from_edges(
+            7,
+            [(0, 1), (0, 2), (0, 3), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (2, 6)],
+        );
+        let m = common_neighbors_matrix(&g);
+        for i in 0..7u32 {
+            for j in 0..7u32 {
+                if i == j {
+                    continue;
+                }
+                let expect = algo::common_neighbor_count(&g, i, j) as f64;
+                assert_eq!(m.get(i as usize, j as usize), expect, "pair ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn adamic_adar_weights_by_inverse_log_degree() {
+        // Star with centre 0 of degree 3: every leaf pair gets 1/ln 3.
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+        let m = adamic_adar_matrix(&g);
+        let w = 1.0 / 3.0f64.ln();
+        assert!((m.get(1, 2) - w).abs() < 1e-12);
+        assert!((m.get(1, 3) - w).abs() < 1e-12);
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn adamic_adar_skips_degree_one_and_would_be_infinite_centres() {
+        // Path 0-1-2: centre 1 has degree 2 -> weight 1/ln 2, finite.
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let m = adamic_adar_matrix(&g);
+        assert!((m.get(0, 2) - 1.0 / 2.0f64.ln()).abs() < 1e-12);
+        assert!(m.iter().all(|(_, _, v)| v.is_finite()));
+    }
+
+    #[test]
+    fn resource_allocation_on_star() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+        let m = resource_allocation_matrix(&g);
+        assert!((m.get(1, 2) - 1.0 / 3.0).abs() < 1e-12);
+        assert!(m.is_symmetric());
+    }
+
+    #[test]
+    fn ra_dominated_by_cn() {
+        // RA weight 1/d_w <= 1 = CN weight per wedge, so RA <= CN entrywise.
+        let g = Graph::from_edges(
+            6,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (2, 4), (3, 4), (4, 5), (3, 5)],
+        );
+        let cn = common_neighbors_matrix(&g);
+        let ra = resource_allocation_matrix(&g);
+        for (i, j, v) in ra.iter() {
+            assert!(v <= cn.get(i, j) + 1e-12, "RA > CN at ({i},{j})");
+        }
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_matrix() {
+        let g = Graph::from_edges(3, std::iter::empty());
+        assert_eq!(common_neighbors_matrix(&g).nnz(), 0);
+        assert_eq!(adamic_adar_matrix(&g).nnz(), 0);
+        assert_eq!(resource_allocation_matrix(&g).nnz(), 0);
+    }
+}

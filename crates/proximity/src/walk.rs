@@ -1,0 +1,228 @@
+//! Walk-based (high-order) proximities: truncated Katz, personalised
+//! PageRank, and the DeepWalk proximity.
+//!
+//! All three are truncated matrix power series and share one engine,
+//! [`power_series`]: given a base matrix `M` and coefficients
+//! `c_1..c_L`, compute `Σ_l c_l M^l` sparsely, pruning entries below a
+//! drop tolerance after each multiplication to keep fill-in bounded
+//! (the classic approximate-SpGEMM trick; the tolerance is part of the
+//! public contract and defaults to zero = exact).
+
+use sp_graph::Graph;
+use sp_linalg::{CooBuilder, CsrMatrix};
+
+/// Default drop tolerance applied by the walk proximities on graphs
+/// above ~100k edges; keeps `Â^t` fill-in bounded on hub-heavy graphs
+/// while perturbing entries by at most the tolerance per term.
+pub const DEFAULT_DROP_TOL: f64 = 1e-6;
+
+/// Removes entries with `|value| < tol` from a CSR matrix.
+fn prune(m: &CsrMatrix, tol: f64) -> CsrMatrix {
+    if tol <= 0.0 {
+        return m.clone();
+    }
+    let mut b = CooBuilder::new(m.rows(), m.cols());
+    for (i, j, v) in m.iter() {
+        if v.abs() >= tol {
+            b.push(i, j, v);
+        }
+    }
+    b.build()
+}
+
+/// `Σ_{l=1..coeffs.len()} coeffs[l-1] · base^l`, pruning entries below
+/// `drop_tol` after each power to bound fill-in.
+pub fn power_series(base: &CsrMatrix, coeffs: &[f64], drop_tol: f64) -> CsrMatrix {
+    assert!(!coeffs.is_empty(), "power_series needs at least one term");
+    assert_eq!(base.rows(), base.cols(), "power_series needs a square base");
+    let mut power = prune(base, drop_tol);
+    let mut acc = {
+        let mut first = power.clone();
+        first.scale(coeffs[0]);
+        first
+    };
+    for &c in &coeffs[1..] {
+        power = prune(&power.spgemm(base), drop_tol);
+        let mut term = power.clone();
+        term.scale(c);
+        acc = acc.add(&term);
+    }
+    acc
+}
+
+/// Truncated Katz index: `Σ_{l=1..max_len} β^l (A^l)_ij`.
+///
+/// The infinite Katz series converges only for `β < 1/λ_max`; the
+/// truncation is always finite, and for link-type tasks lengths beyond
+/// 3–4 contribute little (Katz 1953; the paper cites it as a
+/// high-order heuristic).
+pub fn katz_matrix(g: &Graph, beta: f64, max_len: usize) -> CsrMatrix {
+    assert!(beta > 0.0 && beta < 1.0, "katz: beta must be in (0,1)");
+    assert!(max_len >= 1, "katz: max_len must be >= 1");
+    let a = crate::adjacency(g);
+    let coeffs: Vec<f64> = (1..=max_len).map(|l| beta.powi(l as i32)).collect();
+    let tol = auto_tol(g);
+    power_series(&a, &coeffs, tol)
+}
+
+/// Truncated personalised-PageRank matrix:
+/// `Π ≈ α Σ_{t=1..iters} (1-α)^t Â^t` (the `t = 0` identity term is
+/// omitted — self-proximity carries no structural information and
+/// would put `α` on every diagonal).
+pub fn ppr_matrix(g: &Graph, alpha: f64, iters: usize) -> CsrMatrix {
+    assert!(alpha > 0.0 && alpha < 1.0, "ppr: alpha must be in (0,1)");
+    assert!(iters >= 1, "ppr: iters must be >= 1");
+    let a = crate::normalized_adjacency(g);
+    let coeffs: Vec<f64> = (1..=iters)
+        .map(|t| alpha * (1.0 - alpha).powi(t as i32))
+        .collect();
+    let tol = auto_tol(g);
+    power_series(&a, &coeffs, tol)
+}
+
+/// DeepWalk proximity of Yang et al. \[22\]:
+/// `M = (1/T) Σ_{t=1..T} Â^t` with row-normalised `Â`.
+///
+/// `M_ij` is the probability that a `T`-step uniform random walk from
+/// `v_i`, with the step count drawn uniformly from `1..=T`, sits at
+/// `v_j` — exactly the co-occurrence statistic DeepWalk's skip-gram
+/// window samples. The paper's `SE-PrivGEmb_DW` uses this with `T = 2`.
+pub fn deepwalk_matrix(g: &Graph, window: usize) -> CsrMatrix {
+    assert!(window >= 1, "deepwalk: window must be >= 1");
+    let a = crate::normalized_adjacency(g);
+    let coeffs: Vec<f64> = (1..=window).map(|_| 1.0 / window as f64).collect();
+    let tol = auto_tol(g);
+    power_series(&a, &coeffs, tol)
+}
+
+/// Exact on small graphs, pruned on large ones.
+fn auto_tol(g: &Graph) -> f64 {
+    if g.num_edges() > 100_000 {
+        DEFAULT_DROP_TOL
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_graph::Graph;
+
+    fn path3() -> Graph {
+        Graph::from_edges(3, [(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn power_series_single_term_is_scaled_base() {
+        let g = path3();
+        let a = crate::adjacency(&g);
+        let s = power_series(&a, &[2.0], 0.0);
+        for (i, j, v) in s.iter() {
+            assert_eq!(v, 2.0 * a.get(i, j));
+        }
+    }
+
+    #[test]
+    fn power_series_two_terms_matches_manual() {
+        let g = path3();
+        let a = crate::adjacency(&g);
+        let s = power_series(&a, &[1.0, 1.0], 0.0);
+        let a2 = a.spgemm(&a);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((s.get(i, j) - (a.get(i, j) + a2.get(i, j))).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn prune_drops_small_entries() {
+        let g = path3();
+        let a = crate::normalized_adjacency(&g);
+        // With a huge tolerance everything is dropped.
+        let s = power_series(&a, &[1.0], 10.0);
+        assert_eq!(s.nnz(), 0);
+    }
+
+    #[test]
+    fn katz_on_path_counts_walks() {
+        let g = path3();
+        let beta = 0.5;
+        let m = katz_matrix(&g, beta, 2);
+        // (0,1): one walk of length 1, zero of length 2 -> 0.5.
+        assert!((m.get(0, 1) - 0.5).abs() < 1e-12);
+        // (0,2): one walk of length 2 -> 0.25.
+        assert!((m.get(0, 2) - 0.25).abs() < 1e-12);
+        // (0,0): one closed walk of length 2 (0-1-0) -> 0.25.
+        assert!((m.get(0, 0) - 0.25).abs() < 1e-12);
+        assert!(m.is_symmetric());
+    }
+
+    #[test]
+    fn deepwalk_window1_is_transition_matrix_halved_no_wait() {
+        // T = 1: M = Â exactly.
+        let g = path3();
+        let m = deepwalk_matrix(&g, 1);
+        let a = crate::normalized_adjacency(&g);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((m.get(i, j) - a.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn deepwalk_window2_known_values() {
+        // Path 0-1-2. Â: 0->1 w.p. 1; 1->0,2 w.p. 0.5; 2->1 w.p. 1.
+        // Â²: 0->{0,2} w.p. 0.5; 1->1 w.p. 1; 2->{0,2} w.p. 0.5.
+        // M = (Â + Â²)/2.
+        let g = path3();
+        let m = deepwalk_matrix(&g, 2);
+        assert!((m.get(0, 1) - 0.5).abs() < 1e-12);
+        assert!((m.get(0, 2) - 0.25).abs() < 1e-12);
+        assert!((m.get(0, 0) - 0.25).abs() < 1e-12);
+        assert!((m.get(1, 0) - 0.25).abs() < 1e-12);
+        assert!((m.get(1, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deepwalk_rows_remain_stochastic() {
+        // Each Â^t is row-stochastic, so the average is too.
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]);
+        let m = deepwalk_matrix(&g, 3);
+        for i in 0..5 {
+            assert!((m.row_sum(i) - 1.0).abs() < 1e-10, "row {i}");
+        }
+    }
+
+    #[test]
+    fn ppr_mass_is_bounded_by_one() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let m = ppr_matrix(&g, 0.15, 8);
+        for i in 0..5 {
+            let s = m.row_sum(i);
+            assert!(s > 0.0 && s < 1.0, "row {i} mass {s}");
+        }
+    }
+
+    #[test]
+    fn ppr_decays_with_distance_on_path() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let m = ppr_matrix(&g, 0.15, 6);
+        assert!(m.get(0, 1) > m.get(0, 2));
+        assert!(m.get(0, 2) > m.get(0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be in (0,1)")]
+    fn katz_rejects_bad_beta() {
+        katz_matrix(&path3(), 1.5, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be >= 1")]
+    fn deepwalk_rejects_zero_window() {
+        deepwalk_matrix(&path3(), 0);
+    }
+}

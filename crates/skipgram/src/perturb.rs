@@ -1,0 +1,94 @@
+//! Gradient perturbation strategies.
+//!
+//! The paper's central mechanism design (§III-B vs §IV-A):
+//!
+//! - **`None`** — no noise; the non-private `SE-GEmb` reference used in
+//!   Figs. 3–4.
+//! - **`Naive`** (Eq. 6, the "first-cut solution") — treats the whole
+//!   batch-summed gradient matrix as one query. Under node-level DP
+//!   "the upper bound of `S_∇v` is `B·C`", and the Gaussian mechanism
+//!   must randomise *every* coordinate of the `|V| × r` gradient, not
+//!   just the touched rows (Fig. 2(c): the entire matrix is
+//!   perturbed). Noise std per coordinate: `B·C·σ`.
+//! - **`NonZero`** (Eq. 9, the paper's contribution) — exploits the
+//!   one-hot input structure: a batch touches at most `B` rows of
+//!   `W_in` and `B(k+1)` rows of `W_out`; after per-example joint
+//!   clipping to `C`, replacing one example changes the summed
+//!   gradient by at most `O(C)`, so noise with std `C·σ` on the
+//!   touched rows suffices (`eN(S²σ²I)` "selectively adds noise to
+//!   non-zero vectors"). Untouched rows carry no information about the
+//!   batch *sum* and — because which edges were sampled is never
+//!   published (only the final matrices are, §IV-A) — need no noise.
+//!
+//! The `B×` sensitivity gap is exactly what Table VI measures.
+
+/// Which noise strategy the trainer applies to batch gradients.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PerturbStrategy {
+    /// No noise (non-private `SE-GEmb`). The accountant is disabled.
+    None,
+    /// Eq. 6: sensitivity `B·C`, noise on every row of both matrices.
+    Naive,
+    /// Eq. 9: sensitivity `C`, noise only on rows touched by the batch.
+    NonZero,
+}
+
+impl PerturbStrategy {
+    /// Whether this strategy consumes privacy budget.
+    pub fn is_private(&self) -> bool {
+        !matches!(self, PerturbStrategy::None)
+    }
+
+    /// The ℓ2 sensitivity `S_∇v` used to scale the noise:
+    /// `C` for non-zero perturbation, `B·C` for naive, `0` for none.
+    pub fn sensitivity(&self, batch_size: usize, clip: f64) -> f64 {
+        match self {
+            PerturbStrategy::None => 0.0,
+            PerturbStrategy::Naive => batch_size as f64 * clip,
+            PerturbStrategy::NonZero => clip,
+        }
+    }
+
+    /// Label used in experiment tables (`Naive` / `Non-zero` / `None`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PerturbStrategy::None => "None",
+            PerturbStrategy::Naive => "Naive",
+            PerturbStrategy::NonZero => "Non-zero",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn privacy_flags() {
+        assert!(!PerturbStrategy::None.is_private());
+        assert!(PerturbStrategy::Naive.is_private());
+        assert!(PerturbStrategy::NonZero.is_private());
+    }
+
+    #[test]
+    fn sensitivities_follow_the_paper() {
+        let (b, c) = (128, 2.0);
+        assert_eq!(PerturbStrategy::None.sensitivity(b, c), 0.0);
+        assert_eq!(PerturbStrategy::NonZero.sensitivity(b, c), 2.0);
+        assert_eq!(PerturbStrategy::Naive.sensitivity(b, c), 256.0);
+    }
+
+    #[test]
+    fn naive_gap_is_batch_factor() {
+        let (b, c) = (64, 1.5);
+        let naive = PerturbStrategy::Naive.sensitivity(b, c);
+        let nonzero = PerturbStrategy::NonZero.sensitivity(b, c);
+        assert_eq!(naive / nonzero, b as f64);
+    }
+
+    #[test]
+    fn labels_stable() {
+        assert_eq!(PerturbStrategy::Naive.label(), "Naive");
+        assert_eq!(PerturbStrategy::NonZero.label(), "Non-zero");
+    }
+}

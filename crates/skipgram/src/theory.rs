@@ -1,0 +1,219 @@
+//! Theorem 3 machinery: what the embedding space provably preserves.
+//!
+//! With the negative-sampling design `Pn(v) ∝ min(P)/Σ_j p_ij`, the
+//! expected objective (Eq. 13) decomposes per pair into
+//!
+//! ```text
+//! ℓ(x_ij) = -p_ij log σ(x_ij) - k·min(P) log σ(-x_ij)
+//! ```
+//!
+//! whose unique minimiser is `x_ij* = log(p_ij / (k·min(P)))` — the
+//! embedding inner products preserve log-proximity up to a constant
+//! shift. This module provides:
+//!
+//! - [`theorem3_optimal`]: the closed form;
+//! - [`optimize_objective`]: a direct gradient-descent minimiser of
+//!   Eq. 13 over free variables `x_ij`, used by tests and the
+//!   `ablation_theory` bench to verify the closed form *empirically*;
+//! - [`prior_work_optimal`]: the degree-based-sampling optimum
+//!   (Eq. 15, after Qiu et al.), which carries a `-log(d_i d_j)`
+//!   distortion — the paper's argument for why prior work cannot
+//!   preserve arbitrary proximities;
+//! - [`proximity_alignment`]: Pearson correlation between a trained
+//!   model's inner products and `log p_ij`, the end-to-end check that
+//!   structure preference actually lands in the embedding space.
+
+use crate::model::SkipGramModel;
+use sp_linalg::{stats, vector, CsrMatrix};
+
+/// Theorem 3 closed form: `x_ij* = log(p_ij / (k·min_p))`.
+///
+/// # Panics
+/// Panics unless `p_ij > 0`, `k >= 1`, `min_p > 0` (the optimum of a
+/// zero-proximity pair is `-∞` — such pairs are outside the support).
+pub fn theorem3_optimal(p_ij: f64, k: usize, min_p: f64) -> f64 {
+    assert!(p_ij > 0.0, "p_ij must be positive (got {p_ij})");
+    assert!(k >= 1, "k must be >= 1");
+    assert!(min_p > 0.0, "min(P) must be positive");
+    (p_ij / (k as f64 * min_p)).ln()
+}
+
+/// Eq. 15 (prior work, degree-proportional negatives):
+/// `x_ij = log(p_ij · D / (d_i · d_j)) - log k`, where `D = Σ p_ij`.
+pub fn prior_work_optimal(p_ij: f64, total_p: f64, d_i: f64, d_j: f64, k: usize) -> f64 {
+    assert!(p_ij > 0.0 && total_p > 0.0 && d_i > 0.0 && d_j > 0.0 && k >= 1);
+    (p_ij * total_p / (d_i * d_j)).ln() - (k as f64).ln()
+}
+
+/// Gradient of the per-pair objective
+/// `ℓ(x) = -p log σ(x) - q log σ(-x)`: `ℓ'(x) = (p+q) σ(x) - p`.
+fn pair_grad(x: f64, p: f64, q: f64) -> f64 {
+    (p + q) * vector::sigmoid(x) - p
+}
+
+/// Directly minimises Eq. 13 over free variables `x_ij`, one per
+/// stored (positive) entry of `p`, by gradient descent. Returns the
+/// optimised values parallel to `p.iter()`'s positive entries as
+/// `(i, j, x_ij)` triplets.
+///
+/// Because the objective is separable and strictly convex in each
+/// `x_ij`, plain GD with a modest learning rate converges to the
+/// Theorem 3 closed form from any start — which is exactly what the
+/// tests assert.
+pub fn optimize_objective(
+    p: &CsrMatrix,
+    k: usize,
+    iters: usize,
+    lr: f64,
+) -> Vec<(usize, usize, f64)> {
+    assert!(k >= 1 && iters > 0 && lr > 0.0);
+    let min_p = p
+        .min_positive()
+        .expect("proximity matrix must have a positive entry");
+    let q = k as f64 * min_p;
+    let mut out: Vec<(usize, usize, f64)> = p
+        .iter()
+        .filter(|&(_, _, v)| v > 0.0)
+        .map(|(i, j, _)| (i, j, 0.0))
+        .collect();
+    let ps: Vec<f64> = p.iter().filter(|&(_, _, v)| v > 0.0).map(|(_, _, v)| v).collect();
+    for _ in 0..iters {
+        for (slot, &pv) in out.iter_mut().zip(&ps) {
+            slot.2 -= lr * pair_grad(slot.2, pv, q);
+        }
+    }
+    out
+}
+
+/// Pearson correlation between the trained model's inner products
+/// `x_ij = v_i·v_j` and `log p_ij` over the positive support of `p`
+/// (optionally subsampled to `max_pairs` by taking a strided subset —
+/// deterministic, no RNG needed for a correlation estimate).
+pub fn proximity_alignment(model: &SkipGramModel, p: &CsrMatrix, max_pairs: usize) -> Option<f64> {
+    let positives: Vec<(usize, usize, f64)> =
+        p.iter().filter(|&(_, _, v)| v > 0.0).collect();
+    if positives.is_empty() {
+        return None;
+    }
+    let stride = (positives.len() / max_pairs.max(1)).max(1);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for (i, j, v) in positives.into_iter().step_by(stride) {
+        xs.push(model.inner(i as u32, j as u32));
+        ys.push(v.ln());
+    }
+    stats::pearson(&xs, &ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_linalg::CooBuilder;
+
+    fn toy_proximity() -> CsrMatrix {
+        let mut b = CooBuilder::new(4, 4);
+        // Symmetric positive entries with a 16x dynamic range.
+        let entries = [
+            (0, 1, 0.08),
+            (0, 2, 0.02),
+            (1, 2, 0.32),
+            (1, 3, 0.04),
+            (2, 3, 0.16),
+        ];
+        for &(i, j, v) in &entries {
+            b.push(i, j, v);
+            b.push(j, i, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn closed_form_basics() {
+        // p = k·min_p ⇒ optimum 0.
+        assert_eq!(theorem3_optimal(0.5, 5, 0.1), 0.0);
+        // Doubling p shifts the optimum by ln 2.
+        let a = theorem3_optimal(0.2, 5, 0.01);
+        let b = theorem3_optimal(0.4, 5, 0.01);
+        assert!((b - a - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gd_converges_to_theorem3_optimum() {
+        let p = toy_proximity();
+        let k = 5;
+        let min_p = p.min_positive().unwrap();
+        let xs = optimize_objective(&p, k, 8000, 0.5);
+        for (i, j, x) in xs {
+            let expect = theorem3_optimal(p.get(i, j), k, min_p);
+            assert!(
+                (x - expect).abs() < 1e-3,
+                "pair ({i},{j}): GD {x} vs closed form {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn gd_optimum_is_stationary() {
+        let p = toy_proximity();
+        let k = 3;
+        let min_p = p.min_positive().unwrap();
+        for (_, _, v) in p.iter().filter(|&(_, _, v)| v > 0.0) {
+            let x_star = theorem3_optimal(v, k, min_p);
+            let g = pair_grad(x_star, v, k as f64 * min_p);
+            assert!(g.abs() < 1e-12, "gradient at optimum = {g}");
+        }
+    }
+
+    #[test]
+    fn prior_work_distorts_by_degrees() {
+        // Same proximity, different endpoint degrees ⇒ different
+        // prior-work optima, while Theorem 3's optimum is identical.
+        let (p, total, k) = (0.1, 2.0, 5);
+        let ours = theorem3_optimal(p, k, 0.01);
+        let low_deg = prior_work_optimal(p, total, 1.0, 2.0, k);
+        let high_deg = prior_work_optimal(p, total, 10.0, 20.0, k);
+        assert_ne!(low_deg, high_deg);
+        let _ = ours; // ours is degree-independent by construction
+        assert!((low_deg - high_deg - (100.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alignment_of_perfect_embedding_is_one() {
+        // Build a model whose inner products are exactly log p_ij:
+        // 1-d embeddings can't do that in general, so fake it with a
+        // diagonal trick: use dim = #nodes and hand-set products.
+        let p = toy_proximity();
+        let n = p.rows();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut model = SkipGramModel::new(n, n, &mut rng);
+        // w_in = I rows; w_out[j][i] = log p_ij  ⇒ inner(i,j)=log p_ij.
+        for i in 0..n {
+            for d in 0..n {
+                model.w_in.set(i, d, if i == d { 1.0 } else { 0.0 });
+            }
+        }
+        for (i, j, v) in p.iter() {
+            if v > 0.0 {
+                model.w_out.set(j, i, v.ln());
+            }
+        }
+        let r = proximity_alignment(&model, &p, 10_000).unwrap();
+        assert!(r > 0.999, "alignment of exact embedding = {r}");
+    }
+
+    use rand::SeedableRng;
+
+    #[test]
+    fn alignment_none_on_empty_support() {
+        let p = CsrMatrix::zeros(4, 4);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let model = SkipGramModel::new(4, 2, &mut rng);
+        assert!(proximity_alignment(&model, &p, 100).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "p_ij must be positive")]
+    fn closed_form_rejects_zero_proximity() {
+        theorem3_optimal(0.0, 5, 0.1);
+    }
+}

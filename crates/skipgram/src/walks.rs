@@ -1,0 +1,204 @@
+//! Random-walk corpus generation (the DeepWalk substrate, §II-A).
+//!
+//! DeepWalk treats truncated random walks as sentences and feeds
+//! window co-occurrences to skip-gram. SE-PrivGEmb replaces the
+//! sampled corpus with the *analytic* walk proximity
+//! `M = (1/T) Σ_t Â^t` (see `sp_proximity::walk::deepwalk_matrix`),
+//! which is what makes the per-edge sensitivity analysis tractable.
+//! This module provides the classic sampled machinery anyway:
+//!
+//! - to validate the analytic matrix (the empirical co-occurrence
+//!   frequency of `(start, end)` pairs converges to `M` — tested
+//!   below), and
+//! - to let users train plain DeepWalk-style baselines on walk
+//!   corpora if they want a non-private reference with the original
+//!   pipeline.
+
+use rand::Rng;
+use sp_graph::{Graph, NodeId};
+use sp_linalg::{CooBuilder, CsrMatrix};
+
+/// Configuration of a walk corpus.
+#[derive(Clone, Copy, Debug)]
+pub struct WalkConfig {
+    /// Walks started per node.
+    pub walks_per_node: usize,
+    /// Length of each walk (number of steps).
+    pub walk_length: usize,
+    /// Skip-gram window: pairs `(w_i, w_j)` with `0 < j - i <= window`
+    /// are emitted.
+    pub window: usize,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        Self {
+            walks_per_node: 10,
+            walk_length: 40,
+            window: 2,
+        }
+    }
+}
+
+/// One uniform random walk of `length` steps starting at `start`
+/// (stops early at an isolated node; the start node is included).
+pub fn random_walk<R: Rng + ?Sized>(
+    g: &Graph,
+    start: NodeId,
+    length: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let mut walk = Vec::with_capacity(length + 1);
+    walk.push(start);
+    let mut cur = start;
+    for _ in 0..length {
+        let nb = g.neighbors(cur);
+        if nb.is_empty() {
+            break;
+        }
+        cur = nb[rng.gen_range(0..nb.len())];
+        walk.push(cur);
+    }
+    walk
+}
+
+/// Generates the full corpus of window co-occurrence pairs
+/// `(center, context)` (directed: context follows center in the walk,
+/// matching the forward window used by the analytic proximity).
+pub fn corpus_pairs<R: Rng + ?Sized>(
+    g: &Graph,
+    cfg: WalkConfig,
+    rng: &mut R,
+) -> Vec<(NodeId, NodeId)> {
+    assert!(cfg.window >= 1 && cfg.walk_length >= 1 && cfg.walks_per_node >= 1);
+    let mut pairs = Vec::new();
+    for start in 0..g.num_nodes() as NodeId {
+        for _ in 0..cfg.walks_per_node {
+            let walk = random_walk(g, start, cfg.walk_length, rng);
+            for i in 0..walk.len() {
+                for j in (i + 1)..walk.len().min(i + 1 + cfg.window) {
+                    pairs.push((walk[i], walk[j]));
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// Empirical walk-proximity matrix: row-normalised co-occurrence
+/// counts from a sampled corpus. As the corpus grows this converges
+/// to the analytic `deepwalk_matrix` with the same window (law of
+/// large numbers over walk transitions) — the property test that ties
+/// the sampled and analytic pipelines together.
+pub fn empirical_proximity<R: Rng + ?Sized>(
+    g: &Graph,
+    cfg: WalkConfig,
+    rng: &mut R,
+) -> CsrMatrix {
+    let n = g.num_nodes();
+    let mut b = CooBuilder::new(n, n);
+    for (u, v) in corpus_pairs(g, cfg, rng) {
+        b.push(u as usize, v as usize, 1.0);
+    }
+    let mut m = b.build();
+    m.normalize_rows();
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sp_graph::Graph;
+
+    fn cycle(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n).map(|i| (i as NodeId, ((i + 1) % n) as NodeId)))
+    }
+
+    #[test]
+    fn walk_stays_on_graph() {
+        let g = cycle(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = random_walk(&g, 3, 50, &mut rng);
+        assert_eq!(w.len(), 51);
+        assert_eq!(w[0], 3);
+        for pair in w.windows(2) {
+            assert!(g.has_edge(pair[0], pair[1]), "non-edge step {pair:?}");
+        }
+    }
+
+    #[test]
+    fn walk_stops_at_isolated_node() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = random_walk(&g, 2, 10, &mut rng);
+        assert_eq!(w, vec![2]);
+    }
+
+    #[test]
+    fn corpus_pairs_respect_window() {
+        let g = cycle(8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = WalkConfig {
+            walks_per_node: 2,
+            walk_length: 10,
+            window: 2,
+        };
+        let pairs = corpus_pairs(&g, cfg, &mut rng);
+        assert!(!pairs.is_empty());
+        // On a cycle, window-2 forward pairs are at ring distance <= 2.
+        for (u, v) in pairs {
+            let d = (u as i64 - v as i64).rem_euclid(8).min((v as i64 - u as i64).rem_euclid(8));
+            assert!(d <= 2, "pair ({u},{v}) at ring distance {d}");
+        }
+    }
+
+    #[test]
+    fn empirical_matches_analytic_deepwalk_proximity() {
+        // The strongest cross-validation in the crate: the sampled
+        // corpus statistics must converge to (Â + Â²)/2.
+        let g = Graph::from_edges(
+            6,
+            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)],
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = WalkConfig {
+            walks_per_node: 600,
+            walk_length: 30,
+            window: 2,
+        };
+        let empirical = empirical_proximity(&g, cfg, &mut rng);
+        let analytic = sp_proximity::walk::deepwalk_matrix(&g, 2);
+        for i in 0..6 {
+            for j in 0..6 {
+                let e = empirical.get(i, j);
+                let a = analytic.get(i, j);
+                assert!(
+                    (e - a).abs() < 0.02,
+                    "({i},{j}): empirical {e:.4} vs analytic {a:.4}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_rows_are_stochastic() {
+        let g = cycle(12);
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = empirical_proximity(&g, WalkConfig::default(), &mut rng);
+        for i in 0..12 {
+            let s = m.row_sum(i);
+            assert!((s - 1.0).abs() < 1e-9, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = cycle(9);
+        let cfg = WalkConfig::default();
+        let a = corpus_pairs(&g, cfg, &mut StdRng::seed_from_u64(6));
+        let b = corpus_pairs(&g, cfg, &mut StdRng::seed_from_u64(6));
+        assert_eq!(a, b);
+    }
+}

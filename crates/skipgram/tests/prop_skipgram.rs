@@ -1,0 +1,126 @@
+//! Property-based tests for the skip-gram engine: gradient
+//! correctness against finite differences over random models, clip
+//! invariants, Algorithm 1 invariants, and Theorem 3 consistency.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sp_graph::Graph;
+use sp_linalg::CooBuilder;
+use sp_skipgram::model::{GradBuffer, SkipGramModel};
+use sp_skipgram::subgraph::{generate_subgraphs, NegativeSampling, Subgraph};
+use sp_skipgram::theory;
+
+fn ring(n: usize) -> Graph {
+    Graph::from_edges(n, (0..n).map(|i| (i as u32, ((i + 1) % n) as u32)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gradients_match_finite_differences(
+        seed in 0u64..1000,
+        p in 0.05f64..4.0,
+        dim in 2usize..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = SkipGramModel::new(6, dim, &mut rng);
+        // Randomise W_out too (new() already does, but scale it up for
+        // gradient visibility).
+        for v in m.w_out.as_mut_slice() {
+            *v *= 3.0;
+        }
+        let sg = Subgraph { center: 0, positive: 1, negatives: vec![2, 3], edge_index: 0 };
+        let mut buf = GradBuffer::new();
+        m.example_grad(&sg, p, &mut buf);
+        let h = 1e-6;
+        for d in 0..dim {
+            let orig = m.w_in.get(0, d);
+            m.w_in.set(0, d, orig + h);
+            let lp = m.loss(&sg, p);
+            m.w_in.set(0, d, orig - h);
+            let lm = m.loss(&sg, p);
+            m.w_in.set(0, d, orig);
+            let fd = (lp - lm) / (2.0 * h);
+            prop_assert!((fd - buf.grad_center[d]).abs() < 1e-5,
+                "dim {}: fd {} vs analytic {}", d, fd, buf.grad_center[d]);
+        }
+    }
+
+    #[test]
+    fn loss_is_nonnegative_and_scales_with_p(seed in 0u64..500, p in 0.01f64..10.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = SkipGramModel::new(5, 4, &mut rng);
+        let sg = Subgraph { center: 0, positive: 1, negatives: vec![2, 3, 4], edge_index: 0 };
+        let l1 = m.loss(&sg, 1.0);
+        let lp = m.loss(&sg, p);
+        prop_assert!(l1 >= 0.0);
+        prop_assert!((lp - p * l1).abs() < 1e-9 * (1.0 + lp.abs()));
+    }
+
+    #[test]
+    fn clip_is_contraction(seed in 0u64..500, c in 0.01f64..5.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = SkipGramModel::new(6, 8, &mut rng);
+        let sg = Subgraph { center: 0, positive: 1, negatives: vec![2, 3, 2], edge_index: 0 };
+        let mut buf = GradBuffer::new();
+        m.example_grad(&sg, 5.0, &mut buf);
+        let before = buf.joint_norm();
+        buf.clip(c);
+        let after = buf.joint_norm();
+        prop_assert!(after <= c + 1e-9);
+        prop_assert!(after <= before + 1e-12);
+    }
+
+    #[test]
+    fn algorithm1_negatives_avoid_neighbours(n in 6usize..30, k in 1usize..6, seed in 0u64..500) {
+        let g = ring(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gs = generate_subgraphs(&g, k, NegativeSampling::UniformNonNeighbor, &mut rng);
+        prop_assert_eq!(gs.len(), g.num_edges());
+        for s in &gs {
+            prop_assert_eq!(s.negatives.len(), k);
+            for &neg in &s.negatives {
+                prop_assert!(neg != s.center);
+                prop_assert!(!g.has_edge(s.center, neg));
+            }
+        }
+    }
+
+    #[test]
+    fn theorem3_optimum_is_monotone_in_p(
+        p1 in 0.001f64..10.0,
+        factor in 1.01f64..100.0,
+        k in 1usize..10,
+        min_p in 0.0001f64..0.01,
+    ) {
+        let x1 = theory::theorem3_optimal(p1, k, min_p);
+        let x2 = theory::theorem3_optimal(p1 * factor, k, min_p);
+        prop_assert!(x2 > x1, "larger proximity must mean larger inner product");
+        // Exact shift: log(factor).
+        prop_assert!((x2 - x1 - factor.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gd_objective_converges_for_random_sparse_proximity(
+        entries in proptest::collection::vec((0usize..5, 0usize..5, 0.01f64..2.0), 1..10),
+        k in 1usize..6,
+    ) {
+        let mut b = CooBuilder::new(5, 5);
+        for &(i, j, v) in &entries {
+            if i != j {
+                b.push(i, j, v);
+            }
+        }
+        let p = b.build();
+        prop_assume!(p.nnz() > 0);
+        let min_p = p.min_positive().unwrap();
+        let xs = theory::optimize_objective(&p, k, 20_000, 0.5);
+        for (i, j, x) in xs {
+            let expect = theory::theorem3_optimal(p.get(i, j), k, min_p);
+            prop_assert!((x - expect).abs() < 1e-2,
+                "({},{}): {} vs {}", i, j, x, expect);
+        }
+    }
+}

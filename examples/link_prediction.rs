@@ -1,0 +1,75 @@
+//! Private link prediction on a collaboration network (Fig. 4's task).
+//!
+//! Given a snapshot of a co-authorship graph, predict which missing
+//! author pairs are most likely to collaborate — without the published
+//! embeddings leaking any individual's presence. Demonstrates the full
+//! protocol: 90/10 split, training on the train graph only, scoring
+//! held-out pairs by embedding inner product, rank-AUC.
+//!
+//! ```text
+//! cargo run --release --example link_prediction
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use se_privgemb_suite::core::{PerturbStrategy, ProximityKind, SePrivGEmb};
+use se_privgemb_suite::datasets::PaperDataset;
+use se_privgemb_suite::eval::LinkSplit;
+
+fn main() {
+    // A 20% Arxiv stand-in: power-law collaboration network with
+    // triadic clustering (Holme–Kim).
+    let g = PaperDataset::Arxiv.generate(0.2, 23);
+    println!(
+        "collaboration graph: {} nodes, {} edges",
+        g.num_nodes(),
+        g.num_edges()
+    );
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let split = LinkSplit::new(&g, 0.1, &mut rng);
+    println!(
+        "split: {} train edges, {} held-out edges, {} sampled non-edges",
+        split.train.num_edges(),
+        split.test_pos.len(),
+        split.test_neg.len()
+    );
+    println!();
+    println!(
+        "{:>28}  {:>8}  {:>8}",
+        "model", "eps", "AUC"
+    );
+
+    // Structure preference matters: DW (random-walk) proximity vs the
+    // degree preference, each privately and non-privately.
+    let configs = [
+        ("SE-PrivGEmb (DW)", ProximityKind::deepwalk_default(), PerturbStrategy::NonZero, 2.0),
+        ("SE-PrivGEmb (Deg)", ProximityKind::Degree, PerturbStrategy::NonZero, 2.0),
+        ("SE-GEmb (DW, non-private)", ProximityKind::deepwalk_default(), PerturbStrategy::None, f64::INFINITY),
+        ("SE-GEmb (Deg, non-private)", ProximityKind::Degree, PerturbStrategy::None, f64::INFINITY),
+    ];
+    for (name, prox, strategy, eps) in configs {
+        let mut builder = SePrivGEmb::builder()
+            .dim(64)
+            .proximity(prox)
+            .strategy(strategy)
+            .epochs(150)
+            .seed(9);
+        if strategy == PerturbStrategy::NonZero {
+            builder = builder.epsilon(eps);
+        }
+        let result = builder.build().fit(&split.train);
+        let auc = split.auc(result.embeddings()).unwrap();
+        let eps_label = if eps.is_finite() {
+            format!("{eps}")
+        } else {
+            "∞".to_string()
+        };
+        println!("{name:>28}  {eps_label:>8}  {auc:>8.4}");
+    }
+
+    println!();
+    println!("The top-scoring unseen pairs are the model's collaboration");
+    println!("recommendations; by Theorem 2 any such post-processing of the");
+    println!("private embeddings keeps the (ε, δ) guarantee.");
+}

@@ -1,0 +1,74 @@
+//! Auditing the privacy protection: membership-inference attacks
+//! against the published embeddings (the paper's §III-A threat model,
+//! made measurable).
+//!
+//! A white-box adversary holding the published model tries to decide
+//! whether a candidate edge was in the training graph. The attack AUC
+//! is ~0.5 when nothing leaks; the gap between the non-private and DP
+//! models is the protection you bought with ε.
+//!
+//! ```text
+//! cargo run --release --example privacy_audit
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use se_privgemb_suite::attack::{edge_membership_scored, node_membership};
+use se_privgemb_suite::core::{PerturbStrategy, ProximityKind, SePrivGEmb};
+use se_privgemb_suite::datasets::generators;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let g = generators::barabasi_albert(400, 4, &mut rng);
+    println!(
+        "target graph: {} nodes, {} edges",
+        g.num_nodes(),
+        g.num_edges()
+    );
+    println!();
+    println!(
+        "{:>22}  {:>12}  {:>12}  {:>12}",
+        "model", "edge-MI AUC", "advantage", "node-MI AUC"
+    );
+
+    for (label, strategy, eps) in [
+        ("non-private", PerturbStrategy::None, f64::INFINITY),
+        ("SE-PrivGEmb eps=3.5", PerturbStrategy::NonZero, 3.5),
+        ("SE-PrivGEmb eps=1.0", PerturbStrategy::NonZero, 1.0),
+    ] {
+        let mut b = SePrivGEmb::builder()
+            .dim(64)
+            .epochs(300)
+            .learning_rate(0.3)
+            .strategy(strategy)
+            .proximity(ProximityKind::deepwalk_default())
+            .seed(5);
+        if eps.is_finite() {
+            b = b.epsilon(eps);
+        }
+        let result = b.build().fit(&g);
+        let model = &result.model;
+
+        // White-box edge attack: score with the fitted statistic
+        // v_u·w_v + v_v·w_u over both published matrices.
+        let mut arng = StdRng::seed_from_u64(23);
+        let edge = edge_membership_scored(
+            &g,
+            |u, v| model.inner(u, v) + model.inner(v, u),
+            500,
+            &mut arng,
+        );
+        let node = node_membership(&g, result.embeddings(), 200, &mut arng);
+        println!(
+            "{label:>22}  {:>12.4}  {:>12.4}  {:>12.4}",
+            edge.auc,
+            edge.advantage(),
+            node.auc
+        );
+    }
+
+    println!();
+    println!("Expected reading: the non-private model leaks edges strongly —");
+    println!("its objective literally fits the membership statistic. The DP");
+    println!("models push the attack towards coin-flipping, more so at small ε.");
+}

@@ -1,0 +1,69 @@
+//! Publishing embeddings of a social network under DP — the paper's
+//! motivating scenario.
+//!
+//! A platform wants to release node vectors of its follower graph so
+//! third parties can run analytics, without letting an attacker infer
+//! whether a given user (node) was present. This example sweeps the
+//! privacy budget on a BlogCatalog-style stand-in and compares
+//! SE-PrivGEmb against an aggregation-perturbation baseline (ProGAP)
+//! at each ε.
+//!
+//! ```text
+//! cargo run --release --example private_social_embedding
+//! ```
+
+use se_privgemb_suite::baselines::{BaselineConfig, Embedder, ProGap};
+use se_privgemb_suite::core::{ProximityKind, SePrivGEmb};
+use se_privgemb_suite::datasets::PaperDataset;
+use se_privgemb_suite::eval::{struc_equ, PairSelection};
+
+fn main() {
+    // A 5% BlogCatalog stand-in (516 nodes, ~16.7k edges): dense
+    // social topology with strong hubs.
+    let g = PaperDataset::BlogCatalog.generate(0.05, 11);
+    println!(
+        "social graph stand-in: {} nodes, {} edges (avg degree {:.1})",
+        g.num_nodes(),
+        g.num_edges(),
+        g.avg_degree()
+    );
+    println!();
+    println!(
+        "{:>6}  {:>18}  {:>12}  {:>14}",
+        "eps", "SE-PrivGEmb (DW)", "ProGAP", "epochs afforded"
+    );
+
+    for eps in [0.5, 1.0, 2.0, 3.5] {
+        let ours = SePrivGEmb::builder()
+            .dim(64)
+            .proximity(ProximityKind::deepwalk_default())
+            .epsilon(eps)
+            .epochs(60)
+            .seed(3)
+            .build()
+            .fit(&g);
+        let s_ours = struc_equ(&g, ours.embeddings(), PairSelection::Auto { seed: 1 })
+            .unwrap_or(f64::NAN);
+
+        let progap = ProGap::new(BaselineConfig {
+            dim: 64,
+            epsilon: eps,
+            seed: 3,
+            ..BaselineConfig::default()
+        });
+        let (emb, _) = progap.embed(&g);
+        let s_progap =
+            struc_equ(&g, &emb, PairSelection::Auto { seed: 1 }).unwrap_or(f64::NAN);
+
+        println!(
+            "{eps:>6}  {s_ours:>18.4}  {s_progap:>12.4}  {:>14}",
+            ours.report.epochs_run
+        );
+    }
+
+    println!();
+    println!("Reading the table: a larger ε lets the RDP accountant afford more");
+    println!("training before the (ε, δ) budget binds, so utility rises with ε;");
+    println!("the skip-gram mechanism with non-zero perturbation dominates the");
+    println!("aggregation-perturbation baseline across the whole grid (Fig. 3).");
+}

@@ -1,0 +1,86 @@
+//! Structure preference in action: Theorem 3 end to end.
+//!
+//! The paper's second contribution is that skip-gram, with the right
+//! negative-sampling design, preserves *arbitrary* node proximities:
+//! the optimal inner products are `x_ij = log(p_ij / (k·min P))`.
+//! This example (1) verifies the closed form by directly minimising
+//! the deterministic objective, and (2) trains real embeddings under
+//! two different structure preferences and shows each embedding aligns
+//! best with its *own* preference — the "choose the structure that
+//! matches your mining objective" workflow.
+//!
+//! ```text
+//! cargo run --release --example structure_preference
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use se_privgemb_suite::core::{PerturbStrategy, ProximityKind, SePrivGEmb};
+use se_privgemb_suite::datasets::generators;
+use se_privgemb_suite::proximity::proximity_matrix;
+use se_privgemb_suite::skipgram::theory;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let g = generators::holme_kim(300, 3, 0.6, &mut rng);
+    println!(
+        "graph: {} nodes, {} edges (clustered power-law)",
+        g.num_nodes(),
+        g.num_edges()
+    );
+
+    // Part 1: the closed form is what the objective actually minimises.
+    println!("\n-- Theorem 3: closed form vs direct optimisation --");
+    let k = 5;
+    for kind in [
+        ProximityKind::DeepWalk { window: 2 },
+        ProximityKind::Ppr { alpha: 0.15, iters: 6 },
+    ] {
+        let p = proximity_matrix(&g, kind);
+        let min_p = p.min_positive().expect("non-empty proximity");
+        let gd = theory::optimize_objective(&p, k, 4000, 0.4);
+        let max_err = gd
+            .iter()
+            .map(|&(i, j, x)| (x - theory::theorem3_optimal(p.get(i, j), k, min_p)).abs())
+            .fold(0.0f64, f64::max);
+        println!(
+            "  {:<4}  {} optimised pairs, max |x_gd - x*| = {max_err:.2e}",
+            kind.label(),
+            gd.len()
+        );
+    }
+
+    // Part 2: trained embeddings align with their own preference.
+    println!("\n-- Trained embeddings vs structure preference --");
+    println!(
+        "{:>24}  {:>16}  {:>16}",
+        "trained with", "align(DW matrix)", "align(CN matrix)"
+    );
+    let dw_matrix = proximity_matrix(&g, ProximityKind::DeepWalk { window: 2 });
+    let cn_matrix = proximity_matrix(&g, ProximityKind::CommonNeighbors);
+    for (label, kind) in [
+        ("DeepWalk preference", ProximityKind::DeepWalk { window: 2 }),
+        ("CommonNeighbors pref.", ProximityKind::CommonNeighbors),
+    ] {
+        let result = SePrivGEmb::builder()
+            .dim(64)
+            .proximity(kind)
+            .strategy(PerturbStrategy::None) // isolate the preference effect
+            .epochs(300)
+            .learning_rate(0.3)
+            .seed(13)
+            .build()
+            .fit(&g);
+        let a_dw =
+            theory::proximity_alignment(&result.model, &dw_matrix, 50_000).unwrap_or(0.0);
+        let a_cn =
+            theory::proximity_alignment(&result.model, &cn_matrix, 50_000).unwrap_or(0.0);
+        println!("{label:>24}  {a_dw:>16.4}  {a_cn:>16.4}");
+    }
+    println!();
+    println!("Read column-wise: for each proximity matrix, the model *trained on*");
+    println!("that preference aligns with it best — switching the preference");
+    println!("reshapes what the embedding space preserves, which is Theorem 3's");
+    println!("point. (CN has sparse support on this graph, so its absolute");
+    println!("alignments are smaller, but the ordering within the column holds.)");
+}

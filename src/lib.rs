@@ -1,0 +1,19 @@
+//! Umbrella crate for the SE-PrivGEmb workspace.
+//!
+//! Re-exports every crate in the workspace so that the root-level
+//! `examples/` and `tests/` can exercise the full public API through a
+//! single dependency, mirroring how a downstream user would consume the
+//! published crates.
+
+pub use se_privgemb as core;
+pub use sp_attack as attack;
+pub use sp_baselines as baselines;
+pub use sp_dynamic as dynamic;
+pub use sp_datasets as datasets;
+pub use sp_dp as dp;
+pub use sp_eval as eval;
+pub use sp_graph as graph;
+pub use sp_linalg as linalg;
+pub use sp_nn as nn;
+pub use sp_proximity as proximity;
+pub use sp_skipgram as skipgram;

@@ -1,0 +1,120 @@
+//! Cross-crate metric and baseline consistency tests.
+
+use se_privgemb_suite::baselines::{
+    BaselineConfig, DpgGan, DpgVae, Embedder, Gap, ProGap,
+};
+use se_privgemb_suite::datasets::{generators, PaperDataset};
+use se_privgemb_suite::eval::{
+    auc_from_scores, normalize_rows, struc_equ, LinkSplit, PairSelection,
+};
+use se_privgemb_suite::linalg::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn graph() -> sp_graph::Graph {
+    let mut rng = StdRng::seed_from_u64(4);
+    generators::holme_kim(150, 3, 0.5, &mut rng)
+}
+
+#[test]
+fn all_baselines_satisfy_embedder_contract() {
+    let g = graph();
+    let cfg = BaselineConfig {
+        dim: 12,
+        epochs: 3,
+        batch: 16,
+        ..BaselineConfig::default()
+    };
+    let embedders: Vec<Box<dyn Embedder>> = vec![
+        Box::new(DpgGan::new(cfg.clone())),
+        Box::new(DpgVae::new(cfg.clone())),
+        Box::new(Gap::new(cfg.clone())),
+        Box::new(ProGap::new(cfg)),
+    ];
+    for e in embedders {
+        let (emb, report) = e.embed(&g);
+        assert_eq!(emb.rows(), g.num_nodes(), "{}", e.name());
+        assert_eq!(emb.cols(), 12, "{}", e.name());
+        assert_eq!(report.method, e.name());
+        assert!(emb.as_slice().iter().all(|v| v.is_finite()), "{}", e.name());
+        assert!(report.epsilon_spent > 0.0, "{}", e.name());
+    }
+}
+
+#[test]
+fn baseline_embeddings_feed_both_metrics() {
+    let g = graph();
+    let (emb, _) = ProGap::new(BaselineConfig {
+        dim: 16,
+        ..BaselineConfig::default()
+    })
+    .embed(&g);
+    let s = struc_equ(&g, &emb, PairSelection::All);
+    assert!(s.is_some());
+    let mut rng = StdRng::seed_from_u64(5);
+    let split = LinkSplit::new(&g, 0.2, &mut rng);
+    let auc = split.auc(&emb).unwrap();
+    assert!((0.0..=1.0).contains(&auc));
+}
+
+#[test]
+fn strucequ_invariant_under_global_rotation_like_scaling() {
+    // StrucEqu uses distances, so a global scale changes both distance
+    // vectors proportionally and Pearson is unchanged.
+    let g = graph();
+    let mut rng = StdRng::seed_from_u64(6);
+    let emb = DenseMatrix::uniform(g.num_nodes(), 8, -1.0, 1.0, &mut rng);
+    let mut scaled = emb.clone();
+    for v in scaled.as_mut_slice() {
+        *v *= 7.5;
+    }
+    let a = struc_equ(&g, &emb, PairSelection::All).unwrap();
+    let b = struc_equ(&g, &scaled, PairSelection::All).unwrap();
+    assert!((a - b).abs() < 1e-9);
+}
+
+#[test]
+fn auc_invariant_under_monotone_score_transforms() {
+    let pos: Vec<f64> = (0..50).map(|i| (i as f64 * 0.41).sin() + 0.3).collect();
+    let neg: Vec<f64> = (0..70).map(|i| (i as f64 * 0.17).cos() - 0.1).collect();
+    let base = auc_from_scores(&pos, &neg).unwrap();
+    let squash = |xs: &[f64]| -> Vec<f64> {
+        xs.iter().map(|&x| (3.0 * x + 1.0).tanh()).collect()
+    };
+    let after = auc_from_scores(&squash(&pos), &squash(&neg)).unwrap();
+    assert!(
+        (base - after).abs() < 1e-12,
+        "AUC must be rank-invariant: {base} vs {after}"
+    );
+}
+
+#[test]
+fn normalized_rows_preserve_cosine_ranking() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let emb = DenseMatrix::uniform(20, 6, -1.0, 1.0, &mut rng);
+    let n = normalize_rows(&emb);
+    // cos(u, v) computed on raw rows equals dot of normalised rows.
+    for u in 0..20 {
+        for v in (u + 1)..20 {
+            let raw_cos = {
+                let (a, b) = (emb.row(u), emb.row(v));
+                let num = sp_linalg::vector::dot(a, b);
+                num / (sp_linalg::vector::norm2(a) * sp_linalg::vector::norm2(b))
+            };
+            let norm_dot = sp_linalg::vector::dot(n.row(u), n.row(v));
+            assert!((raw_cos - norm_dot).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn paper_dataset_standins_have_published_density() {
+    // The accounting-relevant quantity is |E| (via γ = B/|E|): the
+    // stand-ins must reproduce it exactly at full scale for the three
+    // parameter-study datasets (cheap enough to test).
+    for ds in PaperDataset::parameter_study() {
+        let g = ds.generate_full(1);
+        let (n, m) = ds.published_size();
+        assert_eq!((g.num_nodes(), g.num_edges()), (n, m), "{}", ds.name());
+    }
+}

@@ -1,0 +1,142 @@
+//! End-to-end integration tests: the full pipeline (dataset stand-in →
+//! proximity → Algorithm 1/2 → evaluation) across crates.
+
+use se_privgemb_suite::core::{PerturbStrategy, ProximityKind, SePrivGEmb};
+use se_privgemb_suite::datasets::PaperDataset;
+use se_privgemb_suite::eval::{struc_equ, LinkSplit, PairSelection};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small(ds: PaperDataset) -> sp_graph::Graph {
+    // ~5% scale keeps each dataset in the hundreds of nodes.
+    let scale = match ds {
+        PaperDataset::Dblp => 0.0005,
+        PaperDataset::BlogCatalog => 0.02,
+        _ => 0.05,
+    };
+    ds.generate(scale, 99)
+}
+
+#[test]
+fn full_pipeline_runs_on_every_paper_dataset() {
+    for ds in PaperDataset::all() {
+        let g = small(ds);
+        let result = SePrivGEmb::builder()
+            .dim(16)
+            .epochs(5)
+            .epsilon(3.5)
+            .proximity(ProximityKind::Degree)
+            .seed(1)
+            .build()
+            .fit(&g);
+        assert_eq!(result.embeddings().rows(), g.num_nodes(), "{}", ds.name());
+        assert!(
+            result.embeddings().as_slice().iter().all(|v| v.is_finite()),
+            "{}: non-finite embeddings",
+            ds.name()
+        );
+        assert!(result.report.epsilon_spent <= 3.5, "{}", ds.name());
+    }
+}
+
+#[test]
+fn strucequ_pipeline_produces_score_in_range() {
+    let g = small(PaperDataset::Chameleon);
+    let result = SePrivGEmb::builder()
+        .dim(32)
+        .epochs(30)
+        .proximity(ProximityKind::deepwalk_default())
+        .seed(2)
+        .build()
+        .fit(&g);
+    let s = struc_equ(&g, result.embeddings(), PairSelection::All).unwrap();
+    assert!((-1.0..=1.0).contains(&s));
+}
+
+#[test]
+fn linkpred_pipeline_no_test_leakage_and_valid_auc() {
+    let g = small(PaperDataset::Arxiv);
+    let mut rng = StdRng::seed_from_u64(3);
+    let split = LinkSplit::new(&g, 0.1, &mut rng);
+    // Train strictly on the train graph.
+    let result = SePrivGEmb::builder()
+        .dim(32)
+        .epochs(30)
+        .seed(4)
+        .build()
+        .fit(&split.train);
+    let auc = split.auc(result.embeddings()).unwrap();
+    assert!((0.0..=1.0).contains(&auc));
+    // Leakage guard: no held-out edge exists in the train graph.
+    for &(u, v) in &split.test_pos {
+        assert!(!split.train.has_edge(u, v));
+    }
+}
+
+#[test]
+fn nonprivate_beats_naive_perturbation_end_to_end() {
+    let g = small(PaperDataset::Chameleon);
+    let run = |strategy: PerturbStrategy| {
+        let r = SePrivGEmb::builder()
+            .dim(32)
+            .epochs(40)
+            .strategy(strategy)
+            .proximity(ProximityKind::Degree)
+            .seed(5)
+            .build()
+            .fit(&g);
+        struc_equ(&g, r.embeddings(), PairSelection::All).unwrap_or(0.0)
+    };
+    let nonpriv = run(PerturbStrategy::None);
+    let naive = run(PerturbStrategy::Naive);
+    assert!(
+        nonpriv > naive + 0.05,
+        "non-private {nonpriv} should clearly beat naive {naive}"
+    );
+}
+
+#[test]
+fn embeddings_deterministic_across_whole_pipeline() {
+    let g = small(PaperDataset::Power);
+    let fit = || {
+        SePrivGEmb::builder()
+            .dim(16)
+            .epochs(10)
+            .seed(77)
+            .build()
+            .fit(&g)
+            .embeddings()
+            .clone()
+    };
+    let a = fit();
+    let b = fit();
+    assert_eq!(a.as_slice(), b.as_slice());
+}
+
+#[test]
+fn every_proximity_kind_trains() {
+    let g = small(PaperDataset::Arxiv);
+    for kind in [
+        ProximityKind::CommonNeighbors,
+        ProximityKind::PreferentialAttachment,
+        ProximityKind::AdamicAdar,
+        ProximityKind::ResourceAllocation,
+        ProximityKind::Katz { beta: 0.2, max_len: 3 },
+        ProximityKind::Ppr { alpha: 0.15, iters: 4 },
+        ProximityKind::DeepWalk { window: 2 },
+        ProximityKind::Degree,
+    ] {
+        let result = SePrivGEmb::builder()
+            .dim(8)
+            .epochs(3)
+            .proximity(kind)
+            .seed(6)
+            .build()
+            .fit(&g);
+        assert!(
+            result.embeddings().as_slice().iter().all(|v| v.is_finite()),
+            "{:?} produced non-finite embeddings",
+            kind
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Failure-injection tests: pathological inputs and extreme
+//! hyper-parameters must either fail fast with a clear panic or
+//! degrade gracefully — never produce NaN embeddings or hang.
+
+use se_privgemb_suite::core::{PerturbStrategy, ProximityKind, SePrivGEmb};
+use se_privgemb_suite::datasets::generators;
+use sp_graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn assert_finite(result: &se_privgemb_suite::core::pipeline::EmbeddingResult, label: &str) {
+    assert!(
+        result
+            .embeddings()
+            .as_slice()
+            .iter()
+            .all(|v| v.is_finite()),
+        "{label}: non-finite embedding values"
+    );
+}
+
+#[test]
+fn single_edge_graph_trains() {
+    let g = Graph::from_edges(2, [(0, 1)]);
+    let result = SePrivGEmb::builder()
+        .dim(4)
+        .epochs(3)
+        .batch_size(4)
+        .seed(1)
+        .proximity(ProximityKind::Degree)
+        .build()
+        .fit(&g);
+    assert_finite(&result, "single edge");
+}
+
+#[test]
+fn graph_with_isolated_nodes_trains() {
+    // Nodes 5..10 are isolated: they are never centres or positives,
+    // but may be drawn as negatives.
+    let g = Graph::from_edges(10, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+    let result = SePrivGEmb::builder()
+        .dim(8)
+        .epochs(10)
+        .batch_size(4)
+        .seed(2)
+        .build()
+        .fit(&g);
+    assert_finite(&result, "isolated nodes");
+}
+
+#[test]
+fn star_graph_trains_despite_saturated_centre() {
+    // The hub is adjacent to everyone: Algorithm 1's non-neighbour
+    // sampler has no valid negative for hub-centred edges and must
+    // fall back instead of spinning.
+    let g = Graph::from_edges(12, (1..12).map(|i| (0u32, i as u32)));
+    let result = SePrivGEmb::builder()
+        .dim(8)
+        .epochs(5)
+        .seed(3)
+        .build()
+        .fit(&g);
+    assert_finite(&result, "star");
+}
+
+#[test]
+fn extreme_learning_rate_stays_finite() {
+    // Clipping bounds every per-example gradient, so even an absurd
+    // learning rate cannot overflow within a few epochs.
+    let mut rng = StdRng::seed_from_u64(4);
+    let g = generators::barabasi_albert(60, 3, &mut rng);
+    let result = SePrivGEmb::builder()
+        .dim(8)
+        .epochs(5)
+        .learning_rate(50.0)
+        .clip(1.0)
+        .strategy(PerturbStrategy::None)
+        .seed(4)
+        .build()
+        .fit(&g);
+    assert_finite(&result, "lr=50");
+}
+
+#[test]
+fn huge_sigma_destroys_utility_but_not_numerics() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = generators::barabasi_albert(60, 3, &mut rng);
+    let result = SePrivGEmb::builder()
+        .dim(8)
+        .epochs(5)
+        .sigma(1000.0)
+        .epsilon(1000.0) // let it actually run despite the noise
+        .seed(5)
+        .build()
+        .fit(&g);
+    assert_finite(&result, "sigma=1000");
+}
+
+#[test]
+fn tiny_epsilon_yields_zero_steps_not_a_hang() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let g = generators::barabasi_albert(60, 3, &mut rng);
+    let result = SePrivGEmb::builder()
+        .dim(8)
+        .epochs(100)
+        .epsilon(1e-4)
+        .batch_size(32)
+        .seed(6)
+        .build()
+        .fit(&g);
+    assert!(result.report.stopped_by_budget);
+    assert_eq!(result.report.steps_run, 0, "nothing affordable at ε=1e-4");
+    assert_finite(&result, "eps=1e-4"); // the untouched init is published
+}
+
+#[test]
+fn k_larger_than_graph_still_terminates() {
+    let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+    let result = SePrivGEmb::builder()
+        .dim(4)
+        .epochs(3)
+        .negatives(50) // far more negatives than nodes
+        .seed(7)
+        .build()
+        .fit(&g);
+    assert_finite(&result, "k=50");
+}
+
+#[test]
+#[should_panic(expected = "edgeless")]
+fn edgeless_graph_fails_fast() {
+    let g = Graph::from_edges(5, std::iter::empty());
+    SePrivGEmb::builder().dim(4).epochs(1).seed(8).build().fit(&g);
+}
+
+#[test]
+fn disconnected_components_train_independently_without_nan() {
+    // Two components; proximity matrices stay block-diagonal.
+    let mut edges: Vec<(u32, u32)> = (0..10).map(|i| (i, (i + 1) % 10)).collect();
+    edges.extend((0..10).map(|i| (10 + i, 10 + (i + 1) % 10)));
+    let g = Graph::from_edges(20, edges);
+    let result = SePrivGEmb::builder()
+        .dim(8)
+        .epochs(10)
+        .proximity(ProximityKind::deepwalk_default())
+        .seed(9)
+        .build()
+        .fit(&g);
+    assert_finite(&result, "disconnected");
+}
+
+#[test]
+fn dense_near_complete_graph_trains() {
+    // K12 minus one edge: non-neighbour sampling is nearly impossible
+    // for most centres; the fallback path must carry the run.
+    let mut edges = Vec::new();
+    for i in 0..12u32 {
+        for j in (i + 1)..12 {
+            if !(i == 0 && j == 1) {
+                edges.push((i, j));
+            }
+        }
+    }
+    let g = Graph::from_edges(12, edges);
+    let result = SePrivGEmb::builder()
+        .dim(4)
+        .epochs(3)
+        .seed(10)
+        .build()
+        .fit(&g);
+    assert_finite(&result, "near-complete");
+}

@@ -1,0 +1,153 @@
+//! Privacy-invariant integration tests: budget respect, monotonicity,
+//! and accountant/trainer agreement across crates.
+
+use se_privgemb_suite::core::{PerturbStrategy, SePrivGEmb};
+use se_privgemb_suite::datasets::generators;
+use se_privgemb_suite::dp::{BudgetedAccountant, PrivacyBudget};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn graph() -> sp_graph::Graph {
+    let mut rng = StdRng::seed_from_u64(1);
+    generators::barabasi_albert(200, 4, &mut rng)
+}
+
+#[test]
+fn spent_epsilon_never_exceeds_target_across_grid() {
+    let g = graph();
+    for &eps in &[0.5, 1.0, 2.0, 3.5] {
+        let r = SePrivGEmb::builder()
+            .dim(8)
+            .epochs(50)
+            .epsilon(eps)
+            .seed(2)
+            .build()
+            .fit(&g);
+        assert!(
+            r.report.epsilon_spent <= eps + 1e-9,
+            "ε target {eps}: spent {}",
+            r.report.epsilon_spent
+        );
+        assert!(
+            r.report.delta_spent < 1e-5,
+            "δ̂ {} must stay under 1e-5",
+            r.report.delta_spent
+        );
+    }
+}
+
+#[test]
+fn larger_epsilon_affords_at_least_as_many_steps() {
+    let g = graph();
+    let mut last_steps = 0u64;
+    for &eps in &[0.5, 1.0, 2.0, 3.5] {
+        let r = SePrivGEmb::builder()
+            .dim(8)
+            .epochs(200)
+            .epsilon(eps)
+            .seed(3)
+            .build()
+            .fit(&g);
+        assert!(
+            r.report.steps_run >= last_steps,
+            "steps not monotone in ε at {eps}: {} < {last_steps}",
+            r.report.steps_run
+        );
+        last_steps = r.report.steps_run;
+    }
+    assert!(last_steps > 0);
+}
+
+#[test]
+fn nonprivate_run_spends_nothing_and_never_stops_early() {
+    let g = graph();
+    let r = SePrivGEmb::builder()
+        .dim(8)
+        .epochs(25)
+        .strategy(PerturbStrategy::None)
+        .seed(4)
+        .build()
+        .fit(&g);
+    assert_eq!(r.report.epsilon_spent, 0.0);
+    assert_eq!(r.report.delta_spent, 0.0);
+    assert!(!r.report.stopped_by_budget);
+    assert_eq!(r.report.epochs_run, 25);
+}
+
+#[test]
+fn trainer_step_count_matches_standalone_accountant() {
+    // The trainer's early stop must agree exactly with driving the
+    // accountant by hand at the same (γ, σ, ε, δ).
+    let g = graph();
+    let batch = 32usize;
+    let eps = 1.0;
+    let r = SePrivGEmb::builder()
+        .dim(8)
+        .epochs(10_000) // effectively unbounded: budget is the binding cap
+        .batch_size(batch)
+        .epsilon(eps)
+        .seed(5)
+        .build()
+        .fit(&g);
+    assert!(r.report.stopped_by_budget);
+
+    let gamma = batch as f64 / g.num_edges() as f64;
+    let mut acc = BudgetedAccountant::new(PrivacyBudget::new(eps, 1e-5), gamma, 5.0);
+    let mut manual_steps = 0u64;
+    while acc.try_step() {
+        manual_steps += 1;
+        assert!(manual_steps < 10_000_000, "accountant never binds");
+    }
+    assert_eq!(r.report.steps_run, manual_steps);
+}
+
+#[test]
+fn budget_binds_harder_on_smaller_graphs() {
+    // Same B ⇒ larger γ on the smaller graph ⇒ fewer affordable steps.
+    let mut rng = StdRng::seed_from_u64(6);
+    let small = generators::barabasi_albert(100, 4, &mut rng);
+    let large = generators::barabasi_albert(400, 4, &mut rng);
+    let steps = |g: &sp_graph::Graph| {
+        SePrivGEmb::builder()
+            .dim(8)
+            .epochs(10_000)
+            .batch_size(32)
+            .epsilon(1.0)
+            .seed(7)
+            .build()
+            .fit(g)
+            .report
+            .steps_run
+    };
+    assert!(
+        steps(&large) > steps(&small),
+        "larger graph (smaller γ) must afford more steps"
+    );
+}
+
+#[test]
+fn naive_and_nonzero_spend_identically_but_perturb_differently() {
+    // The accountant charges the mechanism, not the noise placement:
+    // both strategies run the same number of steps at a given ε, but
+    // produce different models.
+    let g = graph();
+    let run = |s: PerturbStrategy| {
+        SePrivGEmb::builder()
+            .dim(8)
+            .epochs(40)
+            .strategy(s)
+            .epsilon(2.0)
+            .seed(8)
+            .build()
+            .fit(&g)
+    };
+    let nz = run(PerturbStrategy::NonZero);
+    let naive = run(PerturbStrategy::Naive);
+    assert_eq!(nz.report.steps_run, naive.report.steps_run);
+    assert_eq!(nz.report.epsilon_spent, naive.report.epsilon_spent);
+    assert_ne!(
+        nz.embeddings().as_slice(),
+        naive.embeddings().as_slice(),
+        "strategies must actually differ in their noise"
+    );
+}

@@ -1,0 +1,91 @@
+//! Property-based integration tests over the whole pipeline.
+
+use proptest::prelude::*;
+use se_privgemb_suite::core::{PerturbStrategy, ProximityKind, SePrivGEmb};
+use se_privgemb_suite::proximity::EdgeProximity;
+use sp_graph::Graph;
+
+/// Connected-ish random graph strategy: a ring (guarantees degree ≥ 2
+/// everywhere, which Algorithm 1 needs for non-neighbour sampling)
+/// plus random chords.
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (10usize..40, proptest::collection::vec((0u32..40, 0u32..40), 0..30)).prop_map(
+        |(n, extra)| {
+            let ring = (0..n).map(|i| (i as u32, ((i + 1) % n) as u32));
+            let chords = extra
+                .into_iter()
+                .filter(|&(u, v)| (u as usize) < n && (v as usize) < n);
+            Graph::from_edges(n, ring.chain(chords))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn training_always_yields_finite_embeddings(g in graph_strategy(), seed in 0u64..1000) {
+        let result = SePrivGEmb::builder()
+            .dim(8)
+            .epochs(3)
+            .batch_size(8)
+            .seed(seed)
+            .proximity(ProximityKind::Degree)
+            .build()
+            .fit(&g);
+        prop_assert!(result.embeddings().as_slice().iter().all(|v| v.is_finite()));
+        prop_assert_eq!(result.embeddings().rows(), g.num_nodes());
+    }
+
+    #[test]
+    fn budget_is_never_exceeded(g in graph_strategy(), eps in 0.2f64..4.0) {
+        let result = SePrivGEmb::builder()
+            .dim(4)
+            .epochs(20)
+            .batch_size(8)
+            .epsilon(eps)
+            .proximity(ProximityKind::Degree)
+            .build()
+            .fit(&g);
+        prop_assert!(result.report.epsilon_spent <= eps + 1e-9);
+        prop_assert!(result.report.delta_spent < 1e-5);
+    }
+
+    #[test]
+    fn proximity_weights_are_mean_one_and_nonnegative(g in graph_strategy()) {
+        for kind in [ProximityKind::Degree, ProximityKind::DeepWalk { window: 2 }] {
+            let p = EdgeProximity::compute(&g, kind);
+            prop_assert_eq!(p.len(), g.num_edges());
+            prop_assert!(p.weights.iter().all(|&w| w >= 0.0));
+            if !p.is_empty() {
+                let mean = p.weights.iter().sum::<f64>() / p.len() as f64;
+                prop_assert!((mean - 1.0).abs() < 1e-9, "mean {} for {:?}", mean, kind);
+            }
+            prop_assert!(p.min_positive > 0.0);
+        }
+    }
+
+    #[test]
+    fn nonprivate_training_is_strategy_none_invariant_to_epsilon(
+        g in graph_strategy(),
+        eps in 0.2f64..4.0,
+    ) {
+        // ε must not influence a non-private run in any way.
+        let fit = |e: f64| {
+            SePrivGEmb::builder()
+                .dim(4)
+                .epochs(3)
+                .batch_size(8)
+                .epsilon(e)
+                .strategy(PerturbStrategy::None)
+                .seed(11)
+                .build()
+                .fit(&g)
+                .embeddings()
+                .clone()
+        };
+        let a = fit(eps);
+        let b = fit(3.5);
+        prop_assert_eq!(a.as_slice(), b.as_slice());
+    }
+}
