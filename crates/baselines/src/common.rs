@@ -60,7 +60,13 @@ impl BaselineConfig {
         if self.delta.is_nan() || self.delta <= 0.0 || self.delta >= 1.0 {
             return Err("delta must be in (0,1)".into());
         }
-        if self.sigma.is_nan() || self.sigma <= 0.0 || self.clip.is_nan() || self.clip <= 0.0 || self.lr.is_nan() || self.lr <= 0.0 {
+        if self.sigma.is_nan()
+            || self.sigma <= 0.0
+            || self.clip.is_nan()
+            || self.clip <= 0.0
+            || self.lr.is_nan()
+            || self.lr <= 0.0
+        {
             return Err("sigma, clip, lr must be positive".into());
         }
         if self.epochs == 0 || self.batch == 0 {

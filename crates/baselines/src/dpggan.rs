@@ -54,11 +54,7 @@ impl DpgGan {
 }
 
 /// Random ±1/√d sketch of the normalised adjacency rows: `|V| × d`.
-pub(crate) fn sketch_features<R: Rng + ?Sized>(
-    g: &Graph,
-    d: usize,
-    rng: &mut R,
-) -> DenseMatrix {
+pub(crate) fn sketch_features<R: Rng + ?Sized>(g: &Graph, d: usize, rng: &mut R) -> DenseMatrix {
     let n = g.num_nodes();
     let scale = 1.0 / (d as f64).sqrt();
     // Projection matrix R: |V| x d of ±scale.
@@ -108,11 +104,8 @@ impl Embedder for DpgGan {
 
         let batch = cfg.batch.min(g.num_edges());
         let gamma = (batch as f64 / g.num_edges() as f64).min(1.0);
-        let mut accountant = BudgetedAccountant::new(
-            PrivacyBudget::new(cfg.epsilon, cfg.delta),
-            gamma,
-            cfg.sigma,
-        );
+        let mut accountant =
+            BudgetedAccountant::new(PrivacyBudget::new(cfg.epsilon, cfg.delta), gamma, cfg.sigma);
         let steps_per_epoch = g.num_edges().div_ceil(batch);
         let noise_std = cfg.clip * cfg.sigma;
         let mut noise = GaussianSampler::new();
@@ -152,8 +145,7 @@ impl Embedder for DpgGan {
                     let zu = DenseMatrix::from_vec(1, cfg.dim, z.row(0).to_vec());
                     let d_logit = disc.forward(&zu);
                     let g_adv = ADV_WEIGHT * (vector::sigmoid(d_logit.get(0, 0)) - 1.0);
-                    let d_in =
-                        disc.backward(&DenseMatrix::from_vec(1, 1, vec![g_adv]));
+                    let d_in = disc.backward(&DenseMatrix::from_vec(1, 1, vec![g_adv]));
                     disc.zero_grads(); // discard D grads from the generator pass
                     vector::axpy(1.0, d_in.row(0), dz.row_mut(0));
 
@@ -173,7 +165,11 @@ impl Embedder for DpgGan {
                 let d_real = disc.forward(&real_z);
                 let mut dy = DenseMatrix::zeros(batch, 1);
                 for r in 0..batch {
-                    dy.set(r, 0, (vector::sigmoid(d_real.get(r, 0)) - 1.0) / batch as f64);
+                    dy.set(
+                        r,
+                        0,
+                        (vector::sigmoid(d_real.get(r, 0)) - 1.0) / batch as f64,
+                    );
                 }
                 disc.backward(&dy);
                 disc.flush_grads();
@@ -231,8 +227,8 @@ pub(crate) fn random_non_edge<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> (u32, 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sp_datasets::generators;
     use rand::rngs::StdRng;
+    use sp_datasets::generators;
 
     fn test_graph() -> Graph {
         let mut rng = StdRng::seed_from_u64(1);
@@ -286,7 +282,10 @@ mod tests {
         // JL sketch of a unit vector has expected squared norm 1.
         let mean_norm: f64 =
             (0..x.rows()).map(|r| vector::norm2(x.row(r))).sum::<f64>() / x.rows() as f64;
-        assert!((0.5..1.5).contains(&mean_norm), "mean sketch norm {mean_norm}");
+        assert!(
+            (0.5..1.5).contains(&mean_norm),
+            "mean sketch norm {mean_norm}"
+        );
     }
 
     #[test]

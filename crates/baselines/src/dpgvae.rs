@@ -52,21 +52,14 @@ impl Embedder for DpgVae {
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x0A0E);
         let features = sketch_features(g, SKETCH_DIM, &mut rng);
 
-        let mut trunk = Mlp::new(
-            &[SKETCH_DIM, HIDDEN],
-            &[Activation::Tanh],
-            &mut rng,
-        );
+        let mut trunk = Mlp::new(&[SKETCH_DIM, HIDDEN], &[Activation::Tanh], &mut rng);
         let mut head_mu = Mlp::new(&[HIDDEN, cfg.dim], &[Activation::Identity], &mut rng);
         let mut head_lv = Mlp::new(&[HIDDEN, cfg.dim], &[Activation::Identity], &mut rng);
 
         let batch = cfg.batch.min(g.num_edges());
         let gamma = (batch as f64 / g.num_edges() as f64).min(1.0);
-        let mut accountant = BudgetedAccountant::new(
-            PrivacyBudget::new(cfg.epsilon, cfg.delta),
-            gamma,
-            cfg.sigma,
-        );
+        let mut accountant =
+            BudgetedAccountant::new(PrivacyBudget::new(cfg.epsilon, cfg.delta), gamma, cfg.sigma);
         let steps_per_epoch = g.num_edges().div_ceil(batch);
         let noise_std = cfg.clip * cfg.sigma;
         let mut noise = GaussianSampler::new();
@@ -94,8 +87,7 @@ impl Embedder for DpgVae {
                     noise.fill_slice(eps.as_mut_slice(), 1.0, &mut rng);
                     let mut z = mu.clone();
                     for i in 0..z.as_slice().len() {
-                        z.as_mut_slice()[i] +=
-                            (0.5 * lv.as_slice()[i]).exp() * eps.as_slice()[i];
+                        z.as_mut_slice()[i] += (0.5 * lv.as_slice()[i]).exp() * eps.as_slice()[i];
                     }
 
                     // Reconstruction gradients (BCE on inner products).
@@ -113,8 +105,7 @@ impl Embedder for DpgVae {
                     let count = dz.as_slice().len().max(1) as f64;
                     for i in 0..dz.as_slice().len() {
                         let std = (0.5 * lv.as_slice()[i]).exp();
-                        dlv.as_mut_slice()[i] =
-                            dz.as_slice()[i] * eps.as_slice()[i] * std * 0.5;
+                        dlv.as_mut_slice()[i] = dz.as_slice()[i] * eps.as_slice()[i] * std * 0.5;
                         // KL terms: dKL/dμ = μ/n, dKL/dlv = (e^lv - 1)/(2n).
                         dmu.as_mut_slice()[i] += KL_WEIGHT * mu.as_slice()[i] / count;
                         dlv.as_mut_slice()[i] +=

@@ -27,7 +27,7 @@
 //! calibration (same RDP accountant as SE-PrivGEmb), model family,
 //! and embedding dimension match; absolute utilities differ (see the
 //! substitution notes in DESIGN.md). Graphs carry no node features in
-//! the paper's setting, so — "similar to prior research [32]" — GAP
+//! the paper's setting, so — "similar to prior research \[32\]" — GAP
 //! and ProGAP receive randomly generated features.
 
 #![forbid(unsafe_code)]

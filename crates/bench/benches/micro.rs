@@ -27,7 +27,9 @@ fn linalg_kernels(c: &mut Criterion) {
     let mut g = c.benchmark_group("linalg");
     let x: Vec<f64> = (0..128).map(|i| (i as f64).sin()).collect();
     let y: Vec<f64> = (0..128).map(|i| (i as f64).cos()).collect();
-    g.bench_function("dot_128", |b| b.iter(|| vector::dot(black_box(&x), black_box(&y))));
+    g.bench_function("dot_128", |b| {
+        b.iter(|| vector::dot(black_box(&x), black_box(&y)))
+    });
     g.bench_function("sigmoid", |b| b.iter(|| vector::sigmoid(black_box(0.37))));
     let mut z = y.clone();
     g.bench_function("axpy_128", |b| {
@@ -35,7 +37,9 @@ fn linalg_kernels(c: &mut Criterion) {
     });
     let a = proximity_matrix(&bench_graph(500), ProximityKind::DeepWalk { window: 1 });
     let d = DenseMatrix::uniform(500, 64, -1.0, 1.0, &mut StdRng::seed_from_u64(2));
-    g.bench_function("spmm_dense_500x64", |b| b.iter(|| a.spmm_dense(black_box(&d))));
+    g.bench_function("spmm_dense_500x64", |b| {
+        b.iter(|| a.spmm_dense(black_box(&d)))
+    });
     g.bench_function("spgemm_500", |b| b.iter(|| a.spgemm(black_box(&a))));
     g.finish();
 }
@@ -53,7 +57,9 @@ fn dp_kernels(c: &mut Criterion) {
     });
     let mut acc = RdpAccountant::default();
     acc.step_many(0.004, 5.0, 100);
-    g.bench_function("rdp_delta_conversion", |b| b.iter(|| acc.delta(black_box(3.5))));
+    g.bench_function("rdp_delta_conversion", |b| {
+        b.iter(|| acc.delta(black_box(3.5)))
+    });
     g.finish();
 }
 

@@ -41,7 +41,10 @@ pub fn run(mode: BenchMode) {
 
 /// Ablation 1: GD on Eq. 13 lands on the closed form, per measure.
 fn theorem3_convergence(mode: BenchMode) {
-    banner("Ablation 1: Theorem 3 closed form vs direct optimisation", mode);
+    banner(
+        "Ablation 1: Theorem 3 closed form vs direct optimisation",
+        mode,
+    );
     let g = {
         let mut rng = StdRng::seed_from_u64(5);
         generators::barabasi_albert(60, 3, &mut rng)
@@ -60,7 +63,10 @@ fn theorem3_convergence(mode: BenchMode) {
     ];
     let k = 5;
     let mut rows = Vec::new();
-    println!("{:>10}  {:>14}  {:>12}", "proximity", "max |gd - x*|", "pairs");
+    println!(
+        "{:>10}  {:>14}  {:>12}",
+        "proximity", "max |gd - x*|", "pairs"
+    );
     for kind in kinds {
         let p = proximity_matrix(&g, kind);
         let min_p = match p.min_positive() {
@@ -80,13 +86,20 @@ fn theorem3_convergence(mode: BenchMode) {
             gd.len().to_string(),
         ]);
     }
-    write_tsv("ablation1_theorem3", &["proximity", "max_err", "pairs"], &rows);
+    write_tsv(
+        "ablation1_theorem3",
+        &["proximity", "max_err", "pairs"],
+        &rows,
+    );
 }
 
 /// Ablation 2: the paper's sampler aligns embeddings with log p; the
 /// degree-proportional sampler distorts them by endpoint degrees.
 fn sampling_design(mode: BenchMode) {
-    banner("Ablation 2: negative-sampling design (Thm 3 vs Eq. 15)", mode);
+    banner(
+        "Ablation 2: negative-sampling design (Thm 3 vs Eq. 15)",
+        mode,
+    );
     let g = study_graph();
     let p = proximity_matrix(&g, ProximityKind::DeepWalk { window: 2 });
     let mut rows = Vec::new();
@@ -114,7 +127,10 @@ fn sampling_design(mode: BenchMode) {
 
 /// Ablation 3: raw vs row-normalised StrucEqu under noise.
 fn norm_artifact(mode: BenchMode) {
-    banner("Ablation 3: degree-norm artifact (raw vs normalised eval)", mode);
+    banner(
+        "Ablation 3: degree-norm artifact (raw vs normalised eval)",
+        mode,
+    );
     let g = study_graph();
     let mut rows = Vec::new();
     println!(
@@ -136,12 +152,8 @@ fn norm_artifact(mode: BenchMode) {
             .build()
             .fit(&g);
         let raw = struc_equ(&g, result.embeddings(), PairSelection::All).unwrap_or(0.0);
-        let norm = struc_equ(
-            &g,
-            &normalize_rows(result.embeddings()),
-            PairSelection::All,
-        )
-        .unwrap_or(0.0);
+        let norm =
+            struc_equ(&g, &normalize_rows(result.embeddings()), PairSelection::All).unwrap_or(0.0);
         println!("{label:>12}  {eps:>10}  {raw:>12.4}  {norm:>12.4}");
         rows.push(vec![
             label.to_string(),
@@ -163,10 +175,7 @@ fn naive_sensitivity_scaling(mode: BenchMode) {
     banner("Ablation 4: sensitivity scaling with batch size", mode);
     let g = study_graph();
     let mut rows = Vec::new();
-    println!(
-        "{:>6}  {:>14}  {:>14}",
-        "B", "naive", "non-zero"
-    );
+    println!("{:>6}  {:>14}  {:>14}", "B", "naive", "non-zero");
     for batch in [16usize, 64, 256] {
         let mut cells = Vec::new();
         for strategy in [PerturbStrategy::Naive, PerturbStrategy::NonZero] {

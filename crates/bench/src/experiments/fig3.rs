@@ -17,7 +17,10 @@ struct Job {
 
 /// Runs Fig. 3 (one series per method per dataset).
 pub fn run(mode: BenchMode) {
-    banner("Fig. 3: impact of privacy budget on structural equivalence", mode);
+    banner(
+        "Fig. 3: impact of privacy budget on structural equivalence",
+        mode,
+    );
     let reps = mode.reps();
     let datasets = PaperDataset::all();
     let eps_grid = epsilon_grid();
@@ -96,7 +99,13 @@ pub fn run(mode: BenchMode) {
     }
     write_tsv(
         "fig3_strucequ",
-        &["dataset", "method", "epsilon", "strucequ_mean", "strucequ_sd"],
+        &[
+            "dataset",
+            "method",
+            "epsilon",
+            "strucequ_mean",
+            "strucequ_sd",
+        ],
         &tsv_rows,
     );
 }

@@ -79,7 +79,10 @@ pub fn run(mode: BenchMode) {
     let mut cursor = 0usize;
     for (ds_index, ds) in datasets.iter().enumerate() {
         let _ = ds_index;
-        println!("\n[{}] link-prediction AUC by method and epsilon", ds.name());
+        println!(
+            "\n[{}] link-prediction AUC by method and epsilon",
+            ds.name()
+        );
         print!("{:>16}", "method");
         for eps in &eps_grid {
             print!("  {:>13}", format!("eps={eps}"));

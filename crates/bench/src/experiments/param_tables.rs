@@ -5,9 +5,7 @@
 //! (B = 128, η = 0.1, C = 2, k = 5) and reports `StrucEqu ± SD` over
 //! repeated seeded runs.
 
-use crate::harness::{
-    banner, dataset_graph, fmt_stats, parallel_map, write_tsv, BenchMode,
-};
+use crate::harness::{banner, dataset_graph, fmt_stats, parallel_map, write_tsv, BenchMode};
 use se_privgemb::{ProximityKind, SePrivGEmb, SePrivGEmbBuilder};
 use sp_datasets::PaperDataset;
 use sp_eval::{struc_equ, PairSelection};
@@ -211,7 +209,9 @@ mod tests {
         assert_eq!(m.train_config().learning_rate, 0.25);
         let m = SweepParam::Clip(4.0).apply(SePrivGEmb::builder()).build();
         assert_eq!(m.train_config().clip, 4.0);
-        let m = SweepParam::Negatives(7).apply(SePrivGEmb::builder()).build();
+        let m = SweepParam::Negatives(7)
+            .apply(SePrivGEmb::builder())
+            .build();
         assert_eq!(m.train_config().negatives, 7);
     }
 

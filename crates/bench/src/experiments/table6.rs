@@ -2,9 +2,7 @@
 //! non-zero Eq. 9) on structural equivalence, at ε ∈ {0.5, 2, 3.5} on
 //! Chameleon, Power, and Arxiv, for both proximity variants.
 
-use crate::harness::{
-    banner, dataset_graph, fmt_stats, parallel_map, write_tsv, BenchMode,
-};
+use crate::harness::{banner, dataset_graph, fmt_stats, parallel_map, write_tsv, BenchMode};
 use se_privgemb::{PerturbStrategy, ProximityKind, SePrivGEmb};
 use sp_datasets::PaperDataset;
 use sp_eval::{struc_equ, PairSelection};

@@ -21,7 +21,9 @@ impl BenchMode {
     /// Resolves the mode from CLI args (`--full`) or `SP_BENCH_FULL`.
     pub fn from_env() -> Self {
         let full_flag = std::env::args().any(|a| a == "--full");
-        let full_env = std::env::var("SP_BENCH_FULL").map(|v| v == "1").unwrap_or(false);
+        let full_env = std::env::var("SP_BENCH_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false);
         if full_flag || full_env {
             BenchMode::Full
         } else {
@@ -117,19 +119,26 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = threads
-        .max(1)
-        .min(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2));
+    let threads = threads.max(1).min(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2),
+    );
     let n = configs.len();
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     let slots = Mutex::new(slots);
-    let work: Mutex<std::vec::IntoIter<(usize, T)>> =
-        Mutex::new(configs.into_iter().enumerate().collect::<Vec<_>>().into_iter());
+    let work: Mutex<std::vec::IntoIter<(usize, T)>> = Mutex::new(
+        configs
+            .into_iter()
+            .enumerate()
+            .collect::<Vec<_>>()
+            .into_iter(),
+    );
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let item = work.lock().next();
                 match item {
                     Some((idx, cfg)) => {
@@ -140,8 +149,7 @@ where
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     slots
         .into_inner()
@@ -154,9 +162,7 @@ where
 pub fn results_dir() -> PathBuf {
     let base = std::env::var("SP_RESULTS_DIR")
         .map(PathBuf::from)
-        .unwrap_or_else(|_| {
-            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results")
-        });
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results"));
     std::fs::create_dir_all(&base).ok();
     base
 }

@@ -211,7 +211,14 @@ mod tests {
     fn privacy_flags() {
         assert!(!Method::SeGembDw.is_private());
         assert!(!Method::SeGembDeg.is_private());
-        for m in [Method::DpgGan, Method::DpgVae, Method::Gap, Method::ProGap, Method::SePrivGembDw, Method::SePrivGembDeg] {
+        for m in [
+            Method::DpgGan,
+            Method::DpgVae,
+            Method::Gap,
+            Method::ProGap,
+            Method::SePrivGembDw,
+            Method::SePrivGembDeg,
+        ] {
             assert!(m.is_private(), "{}", m.name());
         }
     }

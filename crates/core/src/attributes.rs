@@ -142,8 +142,7 @@ mod tests {
         let mut mean = DenseMatrix::zeros(a.rows(), a.cols());
         let n = 200;
         for s in 0..n {
-            let rel =
-                release_attributes(&a, 1.0, 3.5, 1e-5, &mut StdRng::seed_from_u64(100 + s));
+            let rel = release_attributes(&a, 1.0, 3.5, 1e-5, &mut StdRng::seed_from_u64(100 + s));
             mean.add_scaled(1.0 / n as f64, &rel.attributes);
         }
         let diffs: Vec<f64> = mean

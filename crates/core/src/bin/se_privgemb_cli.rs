@@ -60,13 +60,19 @@ fn parse_args() -> Result<Args, String> {
             "--output" => args.output = value(&mut i)?,
             "--dim" => args.dim = value(&mut i)?.parse().map_err(|e| format!("--dim: {e}"))?,
             "--epsilon" => {
-                args.epsilon = value(&mut i)?.parse().map_err(|e| format!("--epsilon: {e}"))?
+                args.epsilon = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--epsilon: {e}"))?
             }
             "--delta" => {
-                args.delta = value(&mut i)?.parse().map_err(|e| format!("--delta: {e}"))?
+                args.delta = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--delta: {e}"))?
             }
             "--epochs" => {
-                args.epochs = value(&mut i)?.parse().map_err(|e| format!("--epochs: {e}"))?
+                args.epochs = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--epochs: {e}"))?
             }
             "--seed" => args.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--proximity" => {

@@ -149,6 +149,23 @@ impl EmbeddingResult {
 
 impl SePrivGEmb {
     /// Entry point: a builder pre-loaded with the paper's defaults.
+    ///
+    /// ```
+    /// use se_privgemb::{ProximityKind, SePrivGEmb};
+    /// use sp_graph::Graph;
+    ///
+    /// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+    /// let result = SePrivGEmb::builder()
+    ///     .dim(8)
+    ///     .epochs(5)
+    ///     .proximity(ProximityKind::Degree)
+    ///     .epsilon(2.0)
+    ///     .seed(42)
+    ///     .build()
+    ///     .fit(&g);
+    /// assert_eq!(result.embeddings().rows(), 4);
+    /// assert!(result.report.epsilon_spent <= 2.0);
+    /// ```
     pub fn builder() -> SePrivGEmbBuilder {
         SePrivGEmbBuilder::default()
     }
@@ -258,9 +275,7 @@ mod tests {
     #[test]
     fn proximity_kind_flows_through() {
         let g = two_cliques_bridge(6);
-        let model = quick_builder()
-            .proximity(ProximityKind::Degree)
-            .build();
+        let model = quick_builder().proximity(ProximityKind::Degree).build();
         assert_eq!(model.proximity_kind(), ProximityKind::Degree);
         let result = model.fit(&g);
         assert_eq!(result.proximity.kind, ProximityKind::Degree);

@@ -380,7 +380,10 @@ mod tests {
             n_large > n_small,
             "ε=3.5 must buy more epochs than ε=0.5 ({n_large} vs {n_small})"
         );
-        assert!(n_small > 0, "even ε=0.5 affords some epochs in paper regime");
+        assert!(
+            n_small > 0,
+            "even ε=0.5 affords some epochs in paper regime"
+        );
     }
 
     #[test]

@@ -13,7 +13,11 @@ use sp_linalg::vector;
 
 /// Joint Euclidean norm over a collection of disjoint gradient parts.
 pub fn parts_norm(parts: &[&[f64]]) -> f64 {
-    parts.iter().map(|p| vector::norm2_sq(p)).sum::<f64>().sqrt()
+    parts
+        .iter()
+        .map(|p| vector::norm2_sq(p))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Clips the concatenation of `parts` to joint ℓ2 norm at most `c`,

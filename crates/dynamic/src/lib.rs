@@ -315,7 +315,10 @@ mod tests {
             );
             total_spent += r.report.epsilon_spent;
         }
-        assert!(total_spent <= 2.0 + 1e-9, "sequence overspent: {total_spent}");
+        assert!(
+            total_spent <= 2.0 + 1e-9,
+            "sequence overspent: {total_spent}"
+        );
     }
 
     #[test]
@@ -372,12 +375,7 @@ mod tests {
             })
             .fit(&snaps);
             let last = results.last().unwrap();
-            struc_equ(
-                snaps.last().unwrap(),
-                &last.model.w_in,
-                PairSelection::All,
-            )
-            .unwrap_or(0.0)
+            struc_equ(snaps.last().unwrap(), &last.model.w_in, PairSelection::All).unwrap_or(0.0)
         };
         let warm = run(true);
         let cold = run(false);

@@ -84,8 +84,12 @@ mod tests {
     #[test]
     fn agrees_with_naive_pair_counting() {
         // Pseudorandom fixed scores; compare with the O(mn) definition.
-        let pos: Vec<f64> = (0..40).map(|i| ((i * 37 + 11) % 97) as f64 / 97.0).collect();
-        let neg: Vec<f64> = (0..60).map(|i| ((i * 53 + 29) % 89) as f64 / 89.0).collect();
+        let pos: Vec<f64> = (0..40)
+            .map(|i| ((i * 37 + 11) % 97) as f64 / 97.0)
+            .collect();
+        let neg: Vec<f64> = (0..60)
+            .map(|i| ((i * 53 + 29) % 89) as f64 / 89.0)
+            .collect();
         let fast = auc_from_scores(&pos, &neg).unwrap();
         let mut acc = 0.0;
         for &p in &pos {

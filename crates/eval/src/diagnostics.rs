@@ -44,16 +44,10 @@ pub fn precision_at_k(
     }
     let mut scored: Vec<(f64, bool)> = Vec::with_capacity(test_pos.len() + test_neg.len());
     for &(u, v) in test_pos {
-        scored.push((
-            vector::dot(emb.row(u as usize), emb.row(v as usize)),
-            true,
-        ));
+        scored.push((vector::dot(emb.row(u as usize), emb.row(v as usize)), true));
     }
     for &(u, v) in test_neg {
-        scored.push((
-            vector::dot(emb.row(u as usize), emb.row(v as usize)),
-            false,
-        ));
+        scored.push((vector::dot(emb.row(u as usize), emb.row(v as usize)), false));
     }
     scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("scores must not be NaN"));
     let k = k.min(scored.len());
@@ -70,10 +64,7 @@ mod tests {
 
     #[test]
     fn norm_degree_correlation_detects_planted_signal() {
-        let g = Graph::from_edges(
-            6,
-            [(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (1, 2)],
-        );
+        let g = Graph::from_edges(6, [(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (1, 2)]);
         let mut rng = StdRng::seed_from_u64(1);
         let mut emb = DenseMatrix::zeros(6, 4);
         for v in 0..6 {

@@ -78,9 +78,9 @@ mod normalize_tests {
         let n = 60usize;
         let g = Graph::from_edges(
             n,
-            (1..n as u32).map(|i| (0u32, i)).chain(
-                (1..(n as u32 - 1)).map(|i| (i, i + 1)),
-            ),
+            (1..n as u32)
+                .map(|i| (0u32, i))
+                .chain((1..(n as u32 - 1)).map(|i| (i, i + 1))),
         );
         let mut rng = StdRng::seed_from_u64(5);
         let mut emb = DenseMatrix::zeros(n, 16);

@@ -42,8 +42,8 @@ impl LinkSplit {
         assert!(g.num_edges() >= 2, "need at least two edges to split");
         let mut edges: Vec<(NodeId, NodeId)> = g.edges().to_vec();
         edges.shuffle(rng);
-        let n_test = ((edges.len() as f64 * test_fraction).round() as usize)
-            .clamp(1, edges.len() - 1);
+        let n_test =
+            ((edges.len() as f64 * test_fraction).round() as usize).clamp(1, edges.len() - 1);
         let test_pos: Vec<_> = edges[..n_test].to_vec();
         let train_edges: Vec<_> = edges[n_test..].to_vec();
         let train = g.with_edges(&train_edges);
@@ -60,8 +60,16 @@ impl LinkSplit {
     /// Returns `None` if AUC is undefined (empty test sets — cannot
     /// happen for splits built by [`LinkSplit::new`]).
     pub fn auc(&self, emb: &DenseMatrix) -> Option<f64> {
-        let pos: Vec<f64> = self.test_pos.iter().map(|&(u, v)| score_dot(emb, u, v)).collect();
-        let neg: Vec<f64> = self.test_neg.iter().map(|&(u, v)| score_dot(emb, u, v)).collect();
+        let pos: Vec<f64> = self
+            .test_pos
+            .iter()
+            .map(|&(u, v)| score_dot(emb, u, v))
+            .collect();
+        let neg: Vec<f64> = self
+            .test_neg
+            .iter()
+            .map(|&(u, v)| score_dot(emb, u, v))
+            .collect();
         crate::auc::auc_from_scores(&pos, &neg)
     }
 }
@@ -197,7 +205,10 @@ mod tests {
         let emb = DenseMatrix::uniform(100, 8, -1.0, 1.0, &mut rng);
         let split = LinkSplit::new(&g, 0.2, &mut rng);
         let auc = split.auc(&emb).unwrap();
-        assert!((auc - 0.5).abs() < 0.25, "random AUC {auc} wildly off chance");
+        assert!(
+            (auc - 0.5).abs() < 0.25,
+            "random AUC {auc} wildly off chance"
+        );
     }
 
     #[test]
@@ -213,10 +224,7 @@ mod tests {
     #[should_panic(expected = "too dense")]
     fn dense_graph_negative_sampling_gives_up() {
         // K5 has zero non-edges.
-        let g = Graph::from_edges(
-            5,
-            (0..5u32).flat_map(|i| ((i + 1)..5).map(move |j| (i, j))),
-        );
+        let g = Graph::from_edges(5, (0..5u32).flat_map(|i| ((i + 1)..5).map(move |j| (i, j))));
         let mut rng = StdRng::seed_from_u64(8);
         sample_non_edges(&g, 3, &mut rng);
     }

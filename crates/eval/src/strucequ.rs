@@ -162,7 +162,10 @@ mod tests {
         let g = Graph::from_edges(6, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5)]);
         let emb = dense_adjacency(&g);
         let r = struc_equ(&g, &emb, PairSelection::All).unwrap();
-        assert!((r - 1.0).abs() < 1e-12, "StrucEqu of adjacency itself = {r}");
+        assert!(
+            (r - 1.0).abs() < 1e-12,
+            "StrucEqu of adjacency itself = {r}"
+        );
     }
 
     #[test]
@@ -204,7 +207,10 @@ mod tests {
         let g = Graph::from_edges(50, (0..49).map(|i| (i as u32, i as u32 + 1)));
         let mut rng = StdRng::seed_from_u64(1);
         let emb = DenseMatrix::uniform(50, 4, -1.0, 1.0, &mut rng);
-        let sel = PairSelection::Sampled { pairs: 500, seed: 4 };
+        let sel = PairSelection::Sampled {
+            pairs: 500,
+            seed: 4,
+        };
         assert_eq!(struc_equ(&g, &emb, sel), struc_equ(&g, &emb, sel));
     }
 

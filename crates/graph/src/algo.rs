@@ -71,7 +71,10 @@ pub fn is_connected(g: &Graph) -> bool {
 
 /// Number of common neighbours of `u` and `v` via sorted-list merge.
 pub fn common_neighbor_count(g: &Graph, u: NodeId, v: NodeId) -> usize {
-    let (mut a, mut b) = (g.neighbors(u).iter().peekable(), g.neighbors(v).iter().peekable());
+    let (mut a, mut b) = (
+        g.neighbors(u).iter().peekable(),
+        g.neighbors(v).iter().peekable(),
+    );
     let mut count = 0;
     while let (Some(&&x), Some(&&y)) = (a.peek(), b.peek()) {
         match x.cmp(&y) {
@@ -331,14 +334,11 @@ mod tests {
     fn core_numbers_of_clique_plus_pendant() {
         // K4 on 0..4 plus pendant 4-0: clique nodes are 3-core, the
         // pendant is 1-core.
-        let g = Graph::from_edges(
-            5,
-            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (0, 4)],
-        );
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (0, 4)]);
         let core = core_numbers(&g);
         assert_eq!(core[4], 1);
-        for v in 0..4 {
-            assert_eq!(core[v], 3, "clique node {v}");
+        for (v, &c) in core.iter().enumerate().take(4) {
+            assert_eq!(c, 3, "clique node {v}");
         }
     }
 

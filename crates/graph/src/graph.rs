@@ -144,7 +144,9 @@ impl Graph {
 
     /// All degrees as a vector (index = node id).
     pub fn degrees(&self) -> Vec<usize> {
-        (0..self.num_nodes()).map(|v| self.degree(v as NodeId)).collect()
+        (0..self.num_nodes())
+            .map(|v| self.degree(v as NodeId))
+            .collect()
     }
 
     /// Membership test via binary search on the sorted neighbour list.

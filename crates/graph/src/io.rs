@@ -91,7 +91,9 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<(Graph, HashMap<u64, Node
 }
 
 /// Reads an edge-list file from disk.
-pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<(Graph, HashMap<u64, NodeId>), IoError> {
+pub fn read_edge_list_file<P: AsRef<Path>>(
+    path: P,
+) -> Result<(Graph, HashMap<u64, NodeId>), IoError> {
     let f = std::fs::File::open(path)?;
     read_edge_list(io::BufReader::new(f))
 }

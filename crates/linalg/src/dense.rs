@@ -49,7 +49,13 @@ impl DenseMatrix {
     /// `W_in` uniformly in `[-0.5/r, 0.5/r)` and `W_out` at zero; the
     /// baselines use Xavier-style ranges. Both are expressed with this
     /// constructor.
-    pub fn uniform<R: Rng + ?Sized>(rows: usize, cols: usize, lo: f64, hi: f64, rng: &mut R) -> Self {
+    pub fn uniform<R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        lo: f64,
+        hi: f64,
+        rng: &mut R,
+    ) -> Self {
         assert!(lo < hi, "uniform: empty range [{lo}, {hi})");
         let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
         Self { rows, cols, data }

@@ -50,7 +50,10 @@ impl CooBuilder {
     /// Queues `(i, j) += v`. Zero values are kept until `build`, where
     /// exact-zero sums are dropped.
     pub fn push(&mut self, i: usize, j: usize, v: f64) {
-        assert!(i < self.rows && j < self.cols, "coo entry ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "coo entry ({i},{j}) out of bounds"
+        );
         self.entries.push((i as u32, j as u32, v));
     }
 
@@ -66,8 +69,7 @@ impl CooBuilder {
 
     /// Sorts, merges duplicates, drops exact zeros, and produces the CSR.
     pub fn build(mut self) -> CsrMatrix {
-        self.entries
-            .sort_unstable_by_key(|a| (a.0, a.1));
+        self.entries.sort_unstable_by_key(|a| (a.0, a.1));
         let mut indptr = vec![0usize; self.rows + 1];
         let mut indices = Vec::with_capacity(self.entries.len());
         let mut data: Vec<f64> = Vec::with_capacity(self.entries.len());
@@ -428,7 +430,11 @@ impl CsrMatrix {
     /// Symmetric normalisation `D^{-1/2} (A) D^{-1/2}` used by GCN-style
     /// aggregation; `deg` must hold the (weighted) row sums to use.
     pub fn normalize_sym(&mut self, deg: &[f64]) {
-        assert_eq!(deg.len(), self.rows, "normalize_sym: degree length mismatch");
+        assert_eq!(
+            deg.len(),
+            self.rows,
+            "normalize_sym: degree length mismatch"
+        );
         assert_eq!(self.rows, self.cols, "normalize_sym: matrix must be square");
         let inv_sqrt: Vec<f64> = deg
             .iter()
@@ -617,18 +623,13 @@ mod tests {
         // column out of bounds
         assert!(CsrMatrix::from_raw(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
         // unsorted columns
-        assert!(
-            CsrMatrix::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err()
-        );
+        assert!(CsrMatrix::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err());
     }
 
     #[test]
     fn iter_yields_row_major_triplets() {
         let m = sample();
         let tr: Vec<_> = m.iter().collect();
-        assert_eq!(
-            tr,
-            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]
-        );
+        assert_eq!(tr, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]);
     }
 }

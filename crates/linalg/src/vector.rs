@@ -160,7 +160,10 @@ mod tests {
         }
         for &x in &[-3.0, -0.1, 0.1, 3.0] {
             let s = sigmoid(x);
-            assert!(s > 0.0 && s < 1.0, "sigmoid({x}) = {s} not strictly interior");
+            assert!(
+                s > 0.0 && s < 1.0,
+                "sigmoid({x}) = {s} not strictly interior"
+            );
         }
     }
 

@@ -133,9 +133,9 @@ proptest! {
         let csr = b.build();
         let y = csr.spmv(&x);
         let dense = csr.to_dense();
-        for i in 0..6 {
+        for (i, &yi) in y.iter().enumerate().take(6) {
             let expect = vector::dot(dense.row(i), &x);
-            prop_assert!((y[i] - expect).abs() < 1e-8);
+            prop_assert!((yi - expect).abs() < 1e-8);
         }
     }
 

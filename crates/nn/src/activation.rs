@@ -48,7 +48,11 @@ impl Activation {
     /// Transforms upstream gradient `dy` in place into the gradient
     /// w.r.t. the pre-activation, given the cached activation output.
     pub fn backward(&self, out: &DenseMatrix, dy: &mut DenseMatrix) {
-        assert_eq!(out.shape(), dy.shape(), "activation backward: shape mismatch");
+        assert_eq!(
+            out.shape(),
+            dy.shape(),
+            "activation backward: shape mismatch"
+        );
         match self {
             Activation::Relu => {
                 for (d, &o) in dy.as_mut_slice().iter_mut().zip(out.as_slice()) {

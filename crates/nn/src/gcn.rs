@@ -43,7 +43,11 @@ impl GcnLayer {
     /// # Panics
     /// Panics if `a_hat` is not square with side `h.rows()`.
     pub fn forward(&mut self, a_hat: &CsrMatrix, h: &DenseMatrix) -> DenseMatrix {
-        assert_eq!(a_hat.rows(), a_hat.cols(), "propagation matrix must be square");
+        assert_eq!(
+            a_hat.rows(),
+            a_hat.cols(),
+            "propagation matrix must be square"
+        );
         assert_eq!(a_hat.cols(), h.rows(), "Â and H disagree on |V|");
         let agg = a_hat.spmm_dense(h);
         let mut out = self.linear.forward(&agg);

@@ -257,9 +257,7 @@ mod tests {
         l.scale_grads(1.0 / n);
         l.flush_grads();
         assert_eq!(l.grad_norm_sq(), 0.0, "per-example buffers cleared");
-        let acc_norm = (vector::norm2_sq(l.acc_w.as_slice())
-            + vector::norm2_sq(&l.acc_b))
-        .sqrt();
+        let acc_norm = (vector::norm2_sq(l.acc_w.as_slice()) + vector::norm2_sq(&l.acc_b)).sqrt();
         assert!((acc_norm - 1.0).abs() < 1e-9, "acc norm {acc_norm}");
     }
 

@@ -12,12 +12,7 @@ pub fn mse(pred: &DenseMatrix, target: &DenseMatrix) -> (f64, DenseMatrix) {
     let n = pred.as_slice().len().max(1) as f64;
     let mut grad = DenseMatrix::zeros(pred.rows(), pred.cols());
     let mut loss = 0.0;
-    for (idx, (&p, &t)) in pred
-        .as_slice()
-        .iter()
-        .zip(target.as_slice())
-        .enumerate()
-    {
+    for (idx, (&p, &t)) in pred.as_slice().iter().zip(target.as_slice()).enumerate() {
         let d = p - t;
         loss += d * d;
         grad.as_mut_slice()[idx] = 2.0 * d / n;
@@ -33,12 +28,7 @@ pub fn bce_with_logits(logits: &DenseMatrix, targets: &DenseMatrix) -> (f64, Den
     let n = logits.as_slice().len().max(1) as f64;
     let mut grad = DenseMatrix::zeros(logits.rows(), logits.cols());
     let mut loss = 0.0;
-    for (idx, (&z, &y)) in logits
-        .as_slice()
-        .iter()
-        .zip(targets.as_slice())
-        .enumerate()
-    {
+    for (idx, (&z, &y)) in logits.as_slice().iter().zip(targets.as_slice()).enumerate() {
         debug_assert!((0.0..=1.0).contains(&y), "bce target {y} outside [0,1]");
         // softplus(z) - y z, stable for both signs of z.
         let softplus = if z > 0.0 {

@@ -326,12 +326,7 @@ mod tests {
         assert!(p.min_positive <= min_edge + 1e-12);
         // And the normalised min reflects the raw global min ratio.
         let raw_min = m.min_positive().unwrap();
-        let raw_edge0 = m.get(
-            g.edges()[0].0 as usize,
-            g.edges()[0].1 as usize,
-        );
-        assert!(
-            (p.min_positive / p.weights[0] - raw_min / raw_edge0).abs() < 1e-12
-        );
+        let raw_edge0 = m.get(g.edges()[0].0 as usize, g.edges()[0].1 as usize);
+        assert!((p.min_positive / p.weights[0] - raw_min / raw_edge0).abs() < 1e-12);
     }
 }

@@ -90,7 +90,17 @@ mod tests {
     fn common_neighbors_agrees_with_merge_count() {
         let g = Graph::from_edges(
             7,
-            [(0, 1), (0, 2), (0, 3), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (2, 6)],
+            [
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (2, 6),
+            ],
         );
         let m = common_neighbors_matrix(&g);
         for i in 0..7u32 {
@@ -137,7 +147,16 @@ mod tests {
         // RA weight 1/d_w <= 1 = CN weight per wedge, so RA <= CN entrywise.
         let g = Graph::from_edges(
             6,
-            [(0, 1), (0, 2), (1, 2), (1, 3), (2, 4), (3, 4), (4, 5), (3, 5)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (2, 4),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+            ],
         );
         let cn = common_neighbors_matrix(&g);
         let ra = resource_allocation_matrix(&g);

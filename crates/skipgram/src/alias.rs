@@ -26,7 +26,10 @@ impl AliasTable {
     /// Panics if `weights` is empty, contains a negative/non-finite
     /// value, or sums to zero.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        assert!(
+            !weights.is_empty(),
+            "alias table needs at least one outcome"
+        );
         let total: f64 = weights.iter().sum();
         assert!(
             total > 0.0 && total.is_finite(),
@@ -101,7 +104,10 @@ mod tests {
         for _ in 0..draws {
             counts[t.sample(&mut rng) as usize] += 1;
         }
-        counts.into_iter().map(|c| c as f64 / draws as f64).collect()
+        counts
+            .into_iter()
+            .map(|c| c as f64 / draws as f64)
+            .collect()
     }
 
     #[test]

@@ -69,7 +69,10 @@ impl SkipGramModel {
     /// context row of `W_out` — the `x_ij` of Theorem 3.
     #[inline]
     pub fn inner(&self, center: NodeId, context: NodeId) -> f64 {
-        vector::dot(self.w_in.row(center as usize), self.w_out.row(context as usize))
+        vector::dot(
+            self.w_in.row(center as usize),
+            self.w_out.row(context as usize),
+        )
     }
 
     /// The proximity-weighted SGNS loss of one subgraph (Eq. 5).
@@ -94,7 +97,11 @@ impl SkipGramModel {
 
         // Positive pair, label 1.
         let err_pos = p * (vector::sigmoid(self.inner(sg.center, sg.positive)) - 1.0);
-        vector::axpy(err_pos, self.w_out.row(sg.positive as usize), &mut buf.grad_center);
+        vector::axpy(
+            err_pos,
+            self.w_out.row(sg.positive as usize),
+            &mut buf.grad_center,
+        );
         buf.accumulate_ctx(sg.positive, err_pos, vi, dim);
 
         // Negatives, label 0.
@@ -240,7 +247,10 @@ mod tests {
         assert_ne!(m.w_in.as_slice(), m.w_out.as_slice());
         // Expected row norm ≈ sqrt(r · (2h)²/12) = sqrt(1/3) ≈ 0.577.
         let mean_norm = m.w_in.mean_row_norm();
-        assert!((0.4..0.75).contains(&mean_norm), "mean row norm {mean_norm}");
+        assert!(
+            (0.4..0.75).contains(&mean_norm),
+            "mean row norm {mean_norm}"
+        );
         assert_eq!(m.dim(), 8);
         assert_eq!(m.num_nodes(), 10);
     }

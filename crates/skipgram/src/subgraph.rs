@@ -113,10 +113,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn ring(n: usize) -> Graph {
-        Graph::from_edges(
-            n,
-            (0..n).map(|i| (i as NodeId, ((i + 1) % n) as NodeId)),
-        )
+        Graph::from_edges(n, (0..n).map(|i| (i as NodeId, ((i + 1) % n) as NodeId)))
     }
 
     #[test]

@@ -76,7 +76,11 @@ pub fn optimize_objective(
         .filter(|&(_, _, v)| v > 0.0)
         .map(|(i, j, _)| (i, j, 0.0))
         .collect();
-    let ps: Vec<f64> = p.iter().filter(|&(_, _, v)| v > 0.0).map(|(_, _, v)| v).collect();
+    let ps: Vec<f64> = p
+        .iter()
+        .filter(|&(_, _, v)| v > 0.0)
+        .map(|(_, _, v)| v)
+        .collect();
     for _ in 0..iters {
         for (slot, &pv) in out.iter_mut().zip(&ps) {
             slot.2 -= lr * pair_grad(slot.2, pv, q);
@@ -90,8 +94,7 @@ pub fn optimize_objective(
 /// (optionally subsampled to `max_pairs` by taking a strided subset —
 /// deterministic, no RNG needed for a correlation estimate).
 pub fn proximity_alignment(model: &SkipGramModel, p: &CsrMatrix, max_pairs: usize) -> Option<f64> {
-    let positives: Vec<(usize, usize, f64)> =
-        p.iter().filter(|&(_, _, v)| v > 0.0).collect();
+    let positives: Vec<(usize, usize, f64)> = p.iter().filter(|&(_, _, v)| v > 0.0).collect();
     if positives.is_empty() {
         return None;
     }

@@ -262,10 +262,8 @@ impl Trainer {
             epochs_run += 1;
         }
 
-        let (epsilon_spent, delta_spent) = accountant
-            .as_ref()
-            .map(|a| a.spent())
-            .unwrap_or((0.0, 0.0));
+        let (epsilon_spent, delta_spent) =
+            accountant.as_ref().map(|a| a.spent()).unwrap_or((0.0, 0.0));
         let final_loss = if loss_stats.1 > 0 {
             loss_stats.0 / loss_stats.1 as f64
         } else {
@@ -411,9 +409,7 @@ mod tests {
     use sp_proximity::ProximityKind;
 
     fn ring_with_chords(n: usize) -> Graph {
-        let mut edges: Vec<(u32, u32)> = (0..n)
-            .map(|i| (i as u32, ((i + 1) % n) as u32))
-            .collect();
+        let mut edges: Vec<(u32, u32)> = (0..n).map(|i| (i as u32, ((i + 1) % n) as u32)).collect();
         for i in (0..n).step_by(5) {
             edges.push((i as u32, ((i + n / 2) % n) as u32));
         }

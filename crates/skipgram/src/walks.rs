@@ -90,11 +90,7 @@ pub fn corpus_pairs<R: Rng + ?Sized>(
 /// to the analytic `deepwalk_matrix` with the same window (law of
 /// large numbers over walk transitions) — the property test that ties
 /// the sampled and analytic pipelines together.
-pub fn empirical_proximity<R: Rng + ?Sized>(
-    g: &Graph,
-    cfg: WalkConfig,
-    rng: &mut R,
-) -> CsrMatrix {
+pub fn empirical_proximity<R: Rng + ?Sized>(g: &Graph, cfg: WalkConfig, rng: &mut R) -> CsrMatrix {
     let n = g.num_nodes();
     let mut b = CooBuilder::new(n, n);
     for (u, v) in corpus_pairs(g, cfg, rng) {
@@ -149,7 +145,9 @@ mod tests {
         assert!(!pairs.is_empty());
         // On a cycle, window-2 forward pairs are at ring distance <= 2.
         for (u, v) in pairs {
-            let d = (u as i64 - v as i64).rem_euclid(8).min((v as i64 - u as i64).rem_euclid(8));
+            let d = (u as i64 - v as i64)
+                .rem_euclid(8)
+                .min((v as i64 - u as i64).rem_euclid(8));
             assert!(d <= 2, "pair ({u},{v}) at ring distance {d}");
         }
     }
@@ -158,10 +156,7 @@ mod tests {
     fn empirical_matches_analytic_deepwalk_proximity() {
         // The strongest cross-validation in the crate: the sampled
         // corpus statistics must converge to (Â + Â²)/2.
-        let g = Graph::from_edges(
-            6,
-            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)],
-        );
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)]);
         let mut rng = StdRng::seed_from_u64(4);
         let cfg = WalkConfig {
             walks_per_node: 600,

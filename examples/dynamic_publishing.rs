@@ -13,9 +13,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use se_privgemb_suite::datasets::generators;
-use se_privgemb_suite::dynamic::{
-    evolve_graph, BudgetAllocation, DynamicConfig, DynamicEmbedder,
-};
+use se_privgemb_suite::dynamic::{evolve_graph, BudgetAllocation, DynamicConfig, DynamicEmbedder};
 use se_privgemb_suite::eval::{struc_equ, PairSelection};
 use se_privgemb_suite::skipgram::TrainConfig;
 
@@ -23,7 +21,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(41);
     let g0 = generators::barabasi_albert(300, 3, &mut rng);
     let snapshots = evolve_graph(&g0, 4, 150, &mut rng);
-    println!("publishing {} versions of a growing graph:", snapshots.len());
+    println!(
+        "publishing {} versions of a growing graph:",
+        snapshots.len()
+    );
     for (t, s) in snapshots.iter().enumerate() {
         println!("  v{t}: {} edges", s.num_edges());
     }
@@ -58,8 +59,12 @@ fn main() {
         );
         let mut total_spent = 0.0;
         for (t, r) in results.iter().enumerate() {
-            let s = struc_equ(&snapshots[t], &r.model.w_in, PairSelection::Auto { seed: 1 })
-                .unwrap_or(f64::NAN);
+            let s = struc_equ(
+                &snapshots[t],
+                &r.model.w_in,
+                PairSelection::Auto { seed: 1 },
+            )
+            .unwrap_or(f64::NAN);
             total_spent += r.report.epsilon_spent;
             println!(
                 "{t:>4}  {:>8.3}  {:>10.3}  {:>10.4}  {:>10.4}",

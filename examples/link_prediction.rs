@@ -35,18 +35,35 @@ fn main() {
         split.test_neg.len()
     );
     println!();
-    println!(
-        "{:>28}  {:>8}  {:>8}",
-        "model", "eps", "AUC"
-    );
+    println!("{:>28}  {:>8}  {:>8}", "model", "eps", "AUC");
 
     // Structure preference matters: DW (random-walk) proximity vs the
     // degree preference, each privately and non-privately.
     let configs = [
-        ("SE-PrivGEmb (DW)", ProximityKind::deepwalk_default(), PerturbStrategy::NonZero, 2.0),
-        ("SE-PrivGEmb (Deg)", ProximityKind::Degree, PerturbStrategy::NonZero, 2.0),
-        ("SE-GEmb (DW, non-private)", ProximityKind::deepwalk_default(), PerturbStrategy::None, f64::INFINITY),
-        ("SE-GEmb (Deg, non-private)", ProximityKind::Degree, PerturbStrategy::None, f64::INFINITY),
+        (
+            "SE-PrivGEmb (DW)",
+            ProximityKind::deepwalk_default(),
+            PerturbStrategy::NonZero,
+            2.0,
+        ),
+        (
+            "SE-PrivGEmb (Deg)",
+            ProximityKind::Degree,
+            PerturbStrategy::NonZero,
+            2.0,
+        ),
+        (
+            "SE-GEmb (DW, non-private)",
+            ProximityKind::deepwalk_default(),
+            PerturbStrategy::None,
+            f64::INFINITY,
+        ),
+        (
+            "SE-GEmb (Deg, non-private)",
+            ProximityKind::Degree,
+            PerturbStrategy::None,
+            f64::INFINITY,
+        ),
     ];
     for (name, prox, strategy, eps) in configs {
         let mut builder = SePrivGEmb::builder()

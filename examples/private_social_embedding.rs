@@ -42,8 +42,8 @@ fn main() {
             .seed(3)
             .build()
             .fit(&g);
-        let s_ours = struc_equ(&g, ours.embeddings(), PairSelection::Auto { seed: 1 })
-            .unwrap_or(f64::NAN);
+        let s_ours =
+            struc_equ(&g, ours.embeddings(), PairSelection::Auto { seed: 1 }).unwrap_or(f64::NAN);
 
         let progap = ProGap::new(BaselineConfig {
             dim: 64,
@@ -52,8 +52,7 @@ fn main() {
             ..BaselineConfig::default()
         });
         let (emb, _) = progap.embed(&g);
-        let s_progap =
-            struc_equ(&g, &emb, PairSelection::Auto { seed: 1 }).unwrap_or(f64::NAN);
+        let s_progap = struc_equ(&g, &emb, PairSelection::Auto { seed: 1 }).unwrap_or(f64::NAN);
 
         println!(
             "{eps:>6}  {s_ours:>18.4}  {s_progap:>12.4}  {:>14}",

@@ -5,11 +5,11 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use se_privgemb_suite::core::{PerturbStrategy, ProximityKind, SePrivGEmb};
 use se_privgemb_suite::datasets::generators;
 use se_privgemb_suite::eval::{struc_equ, LinkSplit, PairSelection};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     // 1. A synthetic scale-free graph (stand-in for any edge list you
@@ -44,8 +44,8 @@ fn main() {
     );
 
     // 3. Task 1: structural equivalence.
-    let strucequ = struc_equ(&g, result.embeddings(), PairSelection::Auto { seed: 1 })
-        .unwrap_or(f64::NAN);
+    let strucequ =
+        struc_equ(&g, result.embeddings(), PairSelection::Auto { seed: 1 }).unwrap_or(f64::NAN);
     println!("StrucEqu: {strucequ:.4}");
 
     // 4. Task 2: link prediction on a fresh 90/10 split.
@@ -58,7 +58,10 @@ fn main() {
         .seed(42)
         .build()
         .fit(&split.train);
-    println!("link-prediction AUC: {:.4}", split.auc(lp.embeddings()).unwrap());
+    println!(
+        "link-prediction AUC: {:.4}",
+        split.auc(lp.embeddings()).unwrap()
+    );
 
     // 5. The non-private reference (SE-GEmb) for comparison —
     //    trained to convergence since it has no budget to respect.
@@ -70,7 +73,7 @@ fn main() {
         .seed(42)
         .build()
         .fit(&g);
-    let s_np = struc_equ(&g, nonpriv.embeddings(), PairSelection::Auto { seed: 1 })
-        .unwrap_or(f64::NAN);
+    let s_np =
+        struc_equ(&g, nonpriv.embeddings(), PairSelection::Auto { seed: 1 }).unwrap_or(f64::NAN);
     println!("non-private StrucEqu reference: {s_np:.4}");
 }

@@ -34,7 +34,10 @@ fn main() {
     let k = 5;
     for kind in [
         ProximityKind::DeepWalk { window: 2 },
-        ProximityKind::Ppr { alpha: 0.15, iters: 6 },
+        ProximityKind::Ppr {
+            alpha: 0.15,
+            iters: 6,
+        },
     ] {
         let p = proximity_matrix(&g, kind);
         let min_p = p.min_positive().expect("non-empty proximity");
@@ -71,10 +74,8 @@ fn main() {
             .seed(13)
             .build()
             .fit(&g);
-        let a_dw =
-            theory::proximity_alignment(&result.model, &dw_matrix, 50_000).unwrap_or(0.0);
-        let a_cn =
-            theory::proximity_alignment(&result.model, &cn_matrix, 50_000).unwrap_or(0.0);
+        let a_dw = theory::proximity_alignment(&result.model, &dw_matrix, 50_000).unwrap_or(0.0);
+        let a_cn = theory::proximity_alignment(&result.model, &cn_matrix, 50_000).unwrap_or(0.0);
         println!("{label:>24}  {a_dw:>16.4}  {a_cn:>16.4}");
     }
     println!();

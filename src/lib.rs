@@ -8,9 +8,9 @@
 pub use se_privgemb as core;
 pub use sp_attack as attack;
 pub use sp_baselines as baselines;
-pub use sp_dynamic as dynamic;
 pub use sp_datasets as datasets;
 pub use sp_dp as dp;
+pub use sp_dynamic as dynamic;
 pub use sp_eval as eval;
 pub use sp_graph as graph;
 pub use sp_linalg as linalg;

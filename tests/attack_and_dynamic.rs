@@ -6,9 +6,7 @@ use rand::SeedableRng;
 use se_privgemb_suite::attack::{edge_membership, edge_membership_scored, node_membership};
 use se_privgemb_suite::core::{PerturbStrategy, ProximityKind, SePrivGEmb};
 use se_privgemb_suite::datasets::generators;
-use se_privgemb_suite::dynamic::{
-    evolve_graph, BudgetAllocation, DynamicConfig, DynamicEmbedder,
-};
+use se_privgemb_suite::dynamic::{evolve_graph, BudgetAllocation, DynamicConfig, DynamicEmbedder};
 use se_privgemb_suite::eval::{struc_equ, PairSelection};
 use se_privgemb_suite::skipgram::TrainConfig;
 
@@ -67,7 +65,11 @@ fn whitebox_attack_dominates_embedding_only_attack_on_nonprivate_model() {
         whitebox.auc,
         embonly.auc
     );
-    assert!(whitebox.auc > 0.6, "non-private must leak: {}", whitebox.auc);
+    assert!(
+        whitebox.auc > 0.6,
+        "non-private must leak: {}",
+        whitebox.auc
+    );
 }
 
 #[test]

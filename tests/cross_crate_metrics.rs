@@ -1,15 +1,13 @@
 //! Cross-crate metric and baseline consistency tests.
 
-use se_privgemb_suite::baselines::{
-    BaselineConfig, DpgGan, DpgVae, Embedder, Gap, ProGap,
-};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use se_privgemb_suite::baselines::{BaselineConfig, DpgGan, DpgVae, Embedder, Gap, ProGap};
 use se_privgemb_suite::datasets::{generators, PaperDataset};
 use se_privgemb_suite::eval::{
     auc_from_scores, normalize_rows, struc_equ, LinkSplit, PairSelection,
 };
 use se_privgemb_suite::linalg::DenseMatrix;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn graph() -> sp_graph::Graph {
     let mut rng = StdRng::seed_from_u64(4);
@@ -78,9 +76,7 @@ fn auc_invariant_under_monotone_score_transforms() {
     let pos: Vec<f64> = (0..50).map(|i| (i as f64 * 0.41).sin() + 0.3).collect();
     let neg: Vec<f64> = (0..70).map(|i| (i as f64 * 0.17).cos() - 0.1).collect();
     let base = auc_from_scores(&pos, &neg).unwrap();
-    let squash = |xs: &[f64]| -> Vec<f64> {
-        xs.iter().map(|&x| (3.0 * x + 1.0).tanh()).collect()
-    };
+    let squash = |xs: &[f64]| -> Vec<f64> { xs.iter().map(|&x| (3.0 * x + 1.0).tanh()).collect() };
     let after = auc_from_scores(&squash(&pos), &squash(&neg)).unwrap();
     assert!(
         (base - after).abs() < 1e-12,

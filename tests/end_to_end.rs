@@ -1,11 +1,11 @@
 //! End-to-end integration tests: the full pipeline (dataset stand-in →
 //! proximity → Algorithm 1/2 → evaluation) across crates.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use se_privgemb_suite::core::{PerturbStrategy, ProximityKind, SePrivGEmb};
 use se_privgemb_suite::datasets::PaperDataset;
 use se_privgemb_suite::eval::{struc_equ, LinkSplit, PairSelection};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn small(ds: PaperDataset) -> sp_graph::Graph {
     // ~5% scale keeps each dataset in the hundreds of nodes.
@@ -121,8 +121,14 @@ fn every_proximity_kind_trains() {
         ProximityKind::PreferentialAttachment,
         ProximityKind::AdamicAdar,
         ProximityKind::ResourceAllocation,
-        ProximityKind::Katz { beta: 0.2, max_len: 3 },
-        ProximityKind::Ppr { alpha: 0.15, iters: 4 },
+        ProximityKind::Katz {
+            beta: 0.2,
+            max_len: 3,
+        },
+        ProximityKind::Ppr {
+            alpha: 0.15,
+            iters: 4,
+        },
         ProximityKind::DeepWalk { window: 2 },
         ProximityKind::Degree,
     ] {

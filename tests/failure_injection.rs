@@ -2,19 +2,15 @@
 //! hyper-parameters must either fail fast with a clear panic or
 //! degrade gracefully — never produce NaN embeddings or hang.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use se_privgemb_suite::core::{PerturbStrategy, ProximityKind, SePrivGEmb};
 use se_privgemb_suite::datasets::generators;
 use sp_graph::Graph;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn assert_finite(result: &se_privgemb_suite::core::pipeline::EmbeddingResult, label: &str) {
     assert!(
-        result
-            .embeddings()
-            .as_slice()
-            .iter()
-            .all(|v| v.is_finite()),
+        result.embeddings().as_slice().iter().all(|v| v.is_finite()),
         "{label}: non-finite embedding values"
     );
 }
@@ -130,7 +126,12 @@ fn k_larger_than_graph_still_terminates() {
 #[should_panic(expected = "edgeless")]
 fn edgeless_graph_fails_fast() {
     let g = Graph::from_edges(5, std::iter::empty());
-    SePrivGEmb::builder().dim(4).epochs(1).seed(8).build().fit(&g);
+    SePrivGEmb::builder()
+        .dim(4)
+        .epochs(1)
+        .seed(8)
+        .build()
+        .fit(&g);
 }
 
 #[test]

@@ -1,11 +1,11 @@
 //! Privacy-invariant integration tests: budget respect, monotonicity,
 //! and accountant/trainer agreement across crates.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use se_privgemb_suite::core::{PerturbStrategy, SePrivGEmb};
 use se_privgemb_suite::datasets::generators;
 use se_privgemb_suite::dp::{BudgetedAccountant, PrivacyBudget};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn graph() -> sp_graph::Graph {
     let mut rng = StdRng::seed_from_u64(1);

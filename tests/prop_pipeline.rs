@@ -9,15 +9,17 @@ use sp_graph::Graph;
 /// everywhere, which Algorithm 1 needs for non-neighbour sampling)
 /// plus random chords.
 fn graph_strategy() -> impl Strategy<Value = Graph> {
-    (10usize..40, proptest::collection::vec((0u32..40, 0u32..40), 0..30)).prop_map(
-        |(n, extra)| {
+    (
+        10usize..40,
+        proptest::collection::vec((0u32..40, 0u32..40), 0..30),
+    )
+        .prop_map(|(n, extra)| {
             let ring = (0..n).map(|i| (i as u32, ((i + 1) % n) as u32));
             let chords = extra
                 .into_iter()
                 .filter(|&(u, v)| (u as usize) < n && (v as usize) < n);
             Graph::from_edges(n, ring.chain(chords))
-        },
-    )
+        })
 }
 
 proptest! {

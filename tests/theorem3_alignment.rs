@@ -2,12 +2,12 @@
 //! holds end to end — from proximity computation through training to
 //! the embedding space.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use se_privgemb_suite::core::{NegativeSampling, PerturbStrategy, ProximityKind, SePrivGEmb};
 use se_privgemb_suite::datasets::generators;
 use se_privgemb_suite::proximity::proximity_matrix;
 use se_privgemb_suite::skipgram::theory;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn graph() -> sp_graph::Graph {
     let mut rng = StdRng::seed_from_u64(2);

@@ -1,0 +1,155 @@
+//! Offline stand-in for the crates.io `criterion` crate (API subset).
+//!
+//! Implements `Criterion`, `BenchmarkGroup`, `Bencher`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros. Timing
+//! is a simple median-of-samples over `Instant`, printed one line per
+//! benchmark — enough to compare hot kernels across commits in this
+//! offline container, not a statistical framework.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+}
+
+/// A named benchmark identifier (`function_name/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// A group of benchmarks sharing a prefix and sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Register and immediately run a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples_target: self.sample_size,
+            median_ns: 0.0,
+        };
+        f(&mut b);
+        println!("{}/{}: {:>12.1} ns/iter", self.name, id.id, b.median_ns);
+        self
+    }
+
+    /// Register and run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples_target: self.sample_size,
+            median_ns: 0.0,
+        };
+        f(&mut b, input);
+        println!("{}/{}: {:>12.1} ns/iter", self.name, id.id, b.median_ns);
+        self
+    }
+
+    /// Finish the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    samples_target: usize,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the per-iteration median.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and estimate a batch size targeting ~1ms per sample.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+        let batch = ((1e-3 / once) as usize).clamp(1, 100_000);
+
+        let mut samples = Vec::with_capacity(self.samples_target);
+        for _ in 0..self.samples_target {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2] * 1e9;
+    }
+}
+
+/// Bundle benchmark functions into a callable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce a `main` running each group, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,45 @@
+//! Collection strategies, mirroring `proptest::collection` (subset).
+
+use crate::strategy::Strategy;
+use core::ops::Range;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Lengths accepted by [`vec()`]: a fixed `usize` or a `Range<usize>`.
+pub trait SizeRange {
+    /// Pick a concrete length.
+    fn pick(&self, rng: &mut StdRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut StdRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy producing `Vec`s of values drawn from `element`.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = self.len.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `Vec` strategy with element strategy and length (fixed or ranged),
+/// mirroring `proptest::collection::vec`.
+pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { element, len }
+}

@@ -1,0 +1,46 @@
+//! Test-runner plumbing: configuration, case outcomes, deterministic RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of passing cases required for the test to succeed.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps the unoptimized `cargo
+        // test` pass fast while still exercising each property broadly.
+        Self { cases: 64 }
+    }
+}
+
+/// Outcome of one generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case hit a failed `prop_assume!`; generate a replacement.
+    Reject,
+    /// The case failed an assertion; abort the whole test.
+    Fail(String),
+}
+
+/// Deterministic per-test RNG: seeded from a stable hash of the fully
+/// qualified test name so failures reproduce across runs.
+pub fn rng_for_test(name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}

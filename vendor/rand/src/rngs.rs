@@ -1,0 +1,33 @@
+//! Concrete generators, mirroring `rand::rngs`.
+
+use crate::{RngCore, SeedableRng, Xoshiro256};
+
+/// Deterministic, seedable generator (stand-in for `rand::rngs::StdRng`).
+#[derive(Clone, Debug)]
+pub struct StdRng(Xoshiro256);
+
+/// Small fast generator (stand-in for `rand::rngs::SmallRng`).
+#[derive(Clone, Debug)]
+pub struct SmallRng(Xoshiro256);
+
+macro_rules! impl_rng {
+    ($t:ident) => {
+        impl RngCore for $t {
+            #[inline]
+            fn next_u32(&mut self) -> u32 {
+                (self.0.next() >> 32) as u32
+            }
+            #[inline]
+            fn next_u64(&mut self) -> u64 {
+                self.0.next()
+            }
+        }
+        impl SeedableRng for $t {
+            fn seed_from_u64(state: u64) -> Self {
+                Self(Xoshiro256::from_u64(state))
+            }
+        }
+    };
+}
+impl_rng!(StdRng);
+impl_rng!(SmallRng);
