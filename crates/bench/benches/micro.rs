@@ -137,6 +137,29 @@ fn eval_kernels(c: &mut Criterion) {
     g.finish();
 }
 
+fn parallel_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel");
+    let items: Vec<u64> = (0..10_000).collect();
+    // Pool dispatch + per-chunk slot overhead on a trivial body — the
+    // regression guard for the old per-item-lock design.
+    g.bench_function("par_map_10k_trivial", |b| {
+        b.iter(|| sp_parallel::par_map(black_box(&items), 4, |&x| x ^ 0x5EED))
+    });
+    let xs: Vec<f64> = (0..100_000).map(|i| (i as f64).sin()).collect();
+    g.bench_function("par_reduce_sum_100k", |b| {
+        b.iter(|| {
+            sp_parallel::par_reduce(
+                xs.len(),
+                4096,
+                4,
+                |r| black_box(&xs)[r].iter().sum::<f64>(),
+                |a, b| a + b,
+            )
+        })
+    });
+    g.finish();
+}
+
 fn end_to_end(c: &mut Criterion) {
     let mut g = c.benchmark_group("end_to_end");
     g.sample_size(10);
@@ -163,6 +186,7 @@ criterion_group!(
     proximity_kernels,
     skipgram_kernels,
     eval_kernels,
+    parallel_kernels,
     end_to_end
 );
 criterion_main!(benches);

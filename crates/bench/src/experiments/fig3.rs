@@ -1,7 +1,7 @@
 //! Fig. 3: structural equivalence vs privacy budget for all eight
 //! methods on all six datasets, ε ∈ {0.5, 1, 1.5, 2, 2.5, 3, 3.5}.
 
-use crate::harness::{banner, dataset_graph, fmt_stats, parallel_map, write_tsv, BenchMode};
+use crate::harness::{banner, dataset_graph, fmt_stats, sweep_threads, write_tsv, BenchMode};
 use crate::methods::Method;
 use se_privgemb::presets::epsilon_grid;
 use sp_datasets::PaperDataset;
@@ -49,7 +49,7 @@ pub fn run(mode: BenchMode) {
         }
     }
 
-    let scores = parallel_map(jobs, 2, |job| {
+    let scores = sp_parallel::par_map(&jobs, sweep_threads(jobs.len()), |job| {
         let g = graph_of(job.ds);
         let emb = job.method.embed(
             g,

@@ -6,7 +6,7 @@
 //! number of sampled non-edges form the test set, scoring is the
 //! inner product of the endpoint embeddings, metric is rank-AUC.
 
-use crate::harness::{banner, dataset_graph, fmt_stats, parallel_map, write_tsv, BenchMode};
+use crate::harness::{banner, dataset_graph, fmt_stats, sweep_threads, write_tsv, BenchMode};
 use crate::methods::Method;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -63,7 +63,7 @@ pub fn run(mode: BenchMode) {
         }
     }
 
-    let scores = parallel_map(jobs, 2, |job| {
+    let scores = sp_parallel::par_map(&jobs, sweep_threads(jobs.len()), |job| {
         let split = &splits[job.ds_index][job.rep];
         let emb = job.method.embed(
             &split.train,

@@ -5,7 +5,7 @@
 //! (B = 128, η = 0.1, C = 2, k = 5) and reports `StrucEqu ± SD` over
 //! repeated seeded runs.
 
-use crate::harness::{banner, dataset_graph, fmt_stats, parallel_map, write_tsv, BenchMode};
+use crate::harness::{banner, dataset_graph, fmt_stats, sweep_threads, write_tsv, BenchMode};
 use se_privgemb::{ProximityKind, SePrivGEmb, SePrivGEmbBuilder};
 use sp_datasets::PaperDataset;
 use sp_eval::{struc_equ, PairSelection};
@@ -92,14 +92,16 @@ pub fn run(mode: BenchMode, table_name: &str, title: &str, values: &[SweepParam]
         &prepared.iter().find(|(d, _)| *d == ds).unwrap().1
     };
 
-    let scores = parallel_map(jobs, 2, |job| {
+    let scores = sp_parallel::par_map(&jobs, sweep_threads(jobs.len()), |job| {
         let g = graph_of(job.ds);
-        let prox = EdgeProximity::compute(g, job.prox);
+        // Inner parallelism stays at 1: the sweep is the pool.
+        let prox = EdgeProximity::compute_threads(g, job.prox, Some(1));
         let builder = SePrivGEmb::builder()
             .dim(mode.dim())
             .epsilon(3.5)
             .epochs(mode.strucequ_epochs())
             .proximity(job.prox)
+            .threads(1)
             .seed(1000 + job.rep as u64);
         let model = job.param.apply(builder).build();
         let result = model.fit_with_proximity(g, prox);

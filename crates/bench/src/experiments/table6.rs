@@ -2,7 +2,7 @@
 //! non-zero Eq. 9) on structural equivalence, at ε ∈ {0.5, 2, 3.5} on
 //! Chameleon, Power, and Arxiv, for both proximity variants.
 
-use crate::harness::{banner, dataset_graph, fmt_stats, parallel_map, write_tsv, BenchMode};
+use crate::harness::{banner, dataset_graph, fmt_stats, sweep_threads, write_tsv, BenchMode};
 use se_privgemb::{PerturbStrategy, ProximityKind, SePrivGEmb};
 use sp_datasets::PaperDataset;
 use sp_eval::{struc_equ, PairSelection};
@@ -63,15 +63,17 @@ pub fn run(mode: BenchMode) {
         }
     }
 
-    let scores = parallel_map(jobs, 2, |job| {
+    let scores = sp_parallel::par_map(&jobs, sweep_threads(jobs.len()), |job| {
         let g = graph_of(job.ds);
-        let prox = EdgeProximity::compute(g, job.prox);
+        // Inner parallelism stays at 1: the sweep is the pool.
+        let prox = EdgeProximity::compute_threads(g, job.prox, Some(1));
         let result = SePrivGEmb::builder()
             .dim(mode.dim())
             .epsilon(job.eps)
             .epochs(mode.strucequ_epochs())
             .strategy(job.strategy)
             .proximity(job.prox)
+            .threads(1)
             .seed(2000 + job.rep as u64)
             .build()
             .fit_with_proximity(g, prox);

@@ -1,7 +1,10 @@
-//! Run-mode handling, dataset provisioning, parallel sweeps, and TSV
-//! output.
+//! Run-mode handling, dataset provisioning, and TSV output.
+//!
+//! Parallel experiment sweeps run on the shared [`sp_parallel`]
+//! worker-pool crate (this module's original `parallel_map` was
+//! generalised into it); see [`sweep_threads`] for how the sweeps pick
+//! their thread count.
 
-use parking_lot::Mutex;
 use sp_datasets::PaperDataset;
 use sp_graph::Graph;
 use sp_linalg::RunningStats;
@@ -110,52 +113,12 @@ pub fn fmt_stats(s: &RunningStats) -> String {
     format!("{:.4}±{:.4}", s.mean(), s.std_dev())
 }
 
-/// Runs `f` over `configs` on a small worker pool, preserving input
-/// order in the output. `threads` defaults to the available
-/// parallelism (the experiment configs are independent runs).
-pub fn parallel_map<T, R, F>(configs: Vec<T>, threads: usize, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let threads = threads.max(1).min(
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(2),
-    );
-    let n = configs.len();
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    let slots = Mutex::new(slots);
-    let work: Mutex<std::vec::IntoIter<(usize, T)>> = Mutex::new(
-        configs
-            .into_iter()
-            .enumerate()
-            .collect::<Vec<_>>()
-            .into_iter(),
-    );
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let item = work.lock().next();
-                match item {
-                    Some((idx, cfg)) => {
-                        let r = f(&cfg);
-                        slots.lock()[idx] = Some(r);
-                    }
-                    None => break,
-                }
-            });
-        }
-    });
-
-    slots
-        .into_inner()
-        .into_iter()
-        .map(|s| s.expect("every slot filled"))
-        .collect()
+/// Thread count for experiment sweeps: `SP_THREADS` wins, then the
+/// available parallelism, capped at the sweep's config count (each
+/// config is an independent training run, so more workers than configs
+/// buys nothing).
+pub fn sweep_threads(num_configs: usize) -> usize {
+    sp_parallel::resolve_threads(None).min(num_configs.max(1))
 }
 
 /// Directory where TSV mirrors of the tables land.
@@ -195,15 +158,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parallel_map_preserves_order() {
-        let out = parallel_map((0..50).collect::<Vec<i32>>(), 4, |&x| x * 2);
-        assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn parallel_map_single_thread_matches() {
-        let a = parallel_map(vec![1, 2, 3], 1, |&x| x + 1);
-        assert_eq!(a, vec![2, 3, 4]);
+    fn sweep_threads_is_capped_by_configs() {
+        assert_eq!(sweep_threads(1), 1);
+        assert!(sweep_threads(64) >= 1);
+        // Zero configs still yields a valid pool size.
+        assert_eq!(sweep_threads(0), 1);
     }
 
     #[test]

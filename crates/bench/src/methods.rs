@@ -160,6 +160,10 @@ fn se_privgemb_embed(
         .epsilon(epsilon)
         .epochs(epochs)
         .seed(seed)
+        // The experiment sweeps already parallelise across configs
+        // (harness::sweep_threads); nesting a full-width pool inside
+        // each job would oversubscribe the machine.
+        .threads(1)
         .build()
         .fit(g)
         .embeddings()

@@ -115,6 +115,16 @@ impl SePrivGEmbBuilder {
         self
     }
 
+    /// Worker threads for the proximity build and the per-example
+    /// gradient pass (default: the `SP_THREADS` environment variable,
+    /// then the available parallelism). The fitted model is
+    /// byte-identical for every thread count — parallelism never
+    /// perturbs a seeded run or its privacy accounting.
+    pub fn threads(mut self, t: usize) -> Self {
+        self.train.threads = Some(t);
+        self
+    }
+
     /// Finalises; panics on invalid parameter combinations.
     pub fn build(self) -> SePrivGEmb {
         if let Err(e) = self.train.validate() {
@@ -182,7 +192,7 @@ impl SePrivGEmb {
 
     /// Computes the proximity weighting and runs Algorithm 2.
     pub fn fit(&self, g: &Graph) -> EmbeddingResult {
-        let prox = EdgeProximity::compute(g, self.proximity);
+        let prox = EdgeProximity::compute_threads(g, self.proximity, self.train.threads);
         self.fit_with_proximity(g, prox)
     }
 
@@ -307,6 +317,7 @@ mod tests {
             .strategy(PerturbStrategy::Naive)
             .negative_sampling(NegativeSampling::DegreeProportional)
             .seed(5)
+            .threads(2)
             .proximity(ProximityKind::Degree)
             .build();
         let c = m.train_config();
@@ -322,6 +333,7 @@ mod tests {
         assert_eq!(c.strategy, PerturbStrategy::Naive);
         assert_eq!(c.negative_sampling, NegativeSampling::DegreeProportional);
         assert_eq!(c.seed, 5);
+        assert_eq!(c.threads, Some(2));
     }
 
     #[test]

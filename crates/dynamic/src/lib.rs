@@ -164,7 +164,11 @@ impl DynamicEmbedder {
             cfg.epsilon = eps_shares[t];
             cfg.delta = delta_share;
             cfg.seed = self.config.base.seed.wrapping_add(t as u64);
-            let prox = EdgeProximity::compute(g, self.config.proximity);
+            // Honour the configured thread knob for the per-snapshot
+            // proximity build too (publishers often run inside their
+            // own pool with base.threads pinned to 1).
+            let prox =
+                EdgeProximity::compute_threads(g, self.config.proximity, self.config.base.threads);
             let trainer = Trainer::new(cfg);
             let (model, report) = match (&previous, self.config.warm_start) {
                 (Some(prev), true) => trainer.train_from(g, &prox, prev.clone()),

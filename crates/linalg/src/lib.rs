@@ -29,5 +29,5 @@ pub mod stats;
 pub mod vector;
 
 pub use dense::DenseMatrix;
-pub use sparse::{CooBuilder, CsrMatrix};
+pub use sparse::{CooBuilder, CsrMatrix, CsrRowBlock};
 pub use stats::{log_binomial, logsumexp, pearson, RunningStats};

@@ -9,6 +9,22 @@
 //! proximity) — are natural in CSR.
 
 use crate::dense::DenseMatrix;
+use std::ops::Range;
+
+/// One contiguous block of CSR rows — per-row non-zero counts plus the
+/// concatenated column indices and values — produced by row-partitioned
+/// builders ([`CsrMatrix::spgemm_rows`], the proximity wedge
+/// enumerator) and stitched back together with
+/// [`CsrMatrix::from_row_blocks`].
+#[derive(Clone, Debug, Default)]
+pub struct CsrRowBlock {
+    /// Number of stored entries in each row of the block, in row order.
+    pub row_nnz: Vec<usize>,
+    /// Column indices, concatenated across the block's rows.
+    pub indices: Vec<u32>,
+    /// Values parallel to `indices`.
+    pub data: Vec<f64>,
+}
 
 /// A CSR sparse matrix with `f64` values.
 ///
@@ -281,16 +297,38 @@ impl CsrMatrix {
     }
 
     /// Sparse–sparse product `A * B` (classic Gustavson SpGEMM with a
-    /// dense accumulator row). Used once per proximity build (`A^2`),
-    /// so clarity wins over a masked/hash accumulator.
+    /// dense accumulator row). Delegates to the row-range kernel so the
+    /// serial product and the row-partitioned parallel product (see
+    /// `sp_proximity`) run the exact same per-row arithmetic and are
+    /// bit-identical by construction.
     pub fn spgemm(&self, other: &CsrMatrix) -> CsrMatrix {
+        let block = self.spgemm_rows(other, 0..self.rows, 0.0);
+        Self::from_row_blocks(self.rows, other.cols, vec![block])
+    }
+
+    /// Gustavson SpGEMM restricted to the output rows in `rows`, with
+    /// entries `|v| < drop_tol` dropped as they are produced
+    /// (`drop_tol <= 0.0` keeps every structural non-zero, matching
+    /// [`CsrMatrix::spgemm`]).
+    ///
+    /// Each output row depends only on the inputs, so computing
+    /// disjoint ranges on different threads and assembling them with
+    /// [`CsrMatrix::from_row_blocks`] yields bit-identical results to
+    /// the serial product for any partition.
+    pub fn spgemm_rows(&self, other: &CsrMatrix, rows: Range<usize>, drop_tol: f64) -> CsrRowBlock {
         assert_eq!(self.cols, other.rows, "spgemm: inner dimension mismatch");
-        let mut indptr = vec![0usize; self.rows + 1];
-        let mut indices: Vec<u32> = Vec::new();
-        let mut data: Vec<f64> = Vec::new();
+        assert!(
+            rows.end <= self.rows,
+            "spgemm_rows: row range out of bounds"
+        );
+        let mut block = CsrRowBlock {
+            row_nnz: Vec::with_capacity(rows.len()),
+            indices: Vec::new(),
+            data: Vec::new(),
+        };
         let mut acc = vec![0.0f64; other.cols];
         let mut touched: Vec<u32> = Vec::new();
-        for i in 0..self.rows {
+        for i in rows {
             for (k, &j) in self.row_indices(i).iter().enumerate() {
                 let a = self.row_values(i)[k];
                 let jr = j as usize;
@@ -304,20 +342,58 @@ impl CsrMatrix {
                 }
             }
             touched.sort_unstable();
+            let before = block.indices.len();
             for &c in &touched {
                 let v = acc[c as usize];
-                if v != 0.0 {
-                    indices.push(c);
-                    data.push(v);
+                if v != 0.0 && (drop_tol <= 0.0 || v.abs() >= drop_tol) {
+                    block.indices.push(c);
+                    block.data.push(v);
                 }
                 acc[c as usize] = 0.0;
             }
             touched.clear();
-            indptr[i + 1] = indices.len();
+            block.row_nnz.push(block.indices.len() - before);
+        }
+        block
+    }
+
+    /// Assembles a CSR matrix from contiguous row blocks (in row
+    /// order, jointly covering `0..rows`), as produced by
+    /// [`CsrMatrix::spgemm_rows`] or any other row-partitioned builder.
+    ///
+    /// # Panics
+    /// Panics if the blocks' row counts do not sum to `rows` or a block
+    /// is internally inconsistent.
+    pub fn from_row_blocks(rows: usize, cols: usize, blocks: Vec<CsrRowBlock>) -> CsrMatrix {
+        let total_rows: usize = blocks.iter().map(|b| b.row_nnz.len()).sum();
+        assert_eq!(total_rows, rows, "row blocks must cover every row");
+        let nnz: usize = blocks.iter().map(|b| b.indices.len()).sum();
+        let mut indptr = Vec::with_capacity(rows + 1);
+        indptr.push(0usize);
+        let mut indices: Vec<u32> = Vec::with_capacity(nnz);
+        let mut data: Vec<f64> = Vec::with_capacity(nnz);
+        for block in blocks {
+            assert_eq!(
+                block.indices.len(),
+                block.data.len(),
+                "row block indices/data length mismatch"
+            );
+            assert_eq!(
+                block.row_nnz.iter().sum::<usize>(),
+                block.indices.len(),
+                "row block nnz counts inconsistent"
+            );
+            let base = *indptr.last().unwrap();
+            for &n in &block.row_nnz {
+                indptr.push(indptr.last().unwrap() + n);
+            }
+            debug_assert_eq!(base + block.indices.len(), *indptr.last().unwrap());
+            indices.extend(block.indices);
+            data.extend(block.data);
         }
         let m = CsrMatrix {
-            rows: self.rows,
-            cols: other.cols,
+            rows,
+            cols,
             indptr,
             indices,
             data,

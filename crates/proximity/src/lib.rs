@@ -122,12 +122,20 @@ impl EdgeProximity {
     /// and reads off the edge entries; for the degree family it is a
     /// closed form in the degrees.
     pub fn compute(g: &Graph, kind: ProximityKind) -> Self {
+        Self::compute_threads(g, kind, None)
+    }
+
+    /// [`EdgeProximity::compute`] with an explicit worker-thread count
+    /// for the matrix-backed measures (`None` resolves via
+    /// [`sp_parallel::resolve_threads`]). The result is bit-identical
+    /// for any thread count.
+    pub fn compute_threads(g: &Graph, kind: ProximityKind, threads: Option<usize>) -> Self {
         let (raw_weights, raw_min): (Vec<f64>, f64) = match kind {
             ProximityKind::PreferentialAttachment | ProximityKind::Degree => {
                 degree::degree_edge_weights(g)
             }
             _ => {
-                let m = proximity_matrix(g, kind);
+                let m = proximity_matrix_threads(g, kind, threads);
                 let min_positive = m.min_positive().unwrap_or(1.0);
                 let weights = g
                     .edges()
@@ -181,13 +189,35 @@ impl EdgeProximity {
 /// [`ProximityKind::Degree`], whose matrices are dense by construction
 /// — use [`EdgeProximity::compute`] or [`degree::degree_score`].
 pub fn proximity_matrix(g: &Graph, kind: ProximityKind) -> CsrMatrix {
+    proximity_matrix_threads(g, kind, None)
+}
+
+/// [`proximity_matrix`] with an explicit worker-thread count (`None`
+/// resolves via [`sp_parallel::resolve_threads`]).
+///
+/// All sparse builders are row-partitioned with a fixed reduction
+/// order, so the matrix is **bit-identical for any thread count** —
+/// the determinism contract the DP pipeline and the paper tables rely
+/// on (see `tests/parallel_determinism.rs`).
+///
+/// # Panics
+/// Same contract as [`proximity_matrix`].
+pub fn proximity_matrix_threads(
+    g: &Graph,
+    kind: ProximityKind,
+    threads: Option<usize>,
+) -> CsrMatrix {
     match kind {
-        ProximityKind::CommonNeighbors => neighborhood::common_neighbors_matrix(g),
-        ProximityKind::AdamicAdar => neighborhood::adamic_adar_matrix(g),
-        ProximityKind::ResourceAllocation => neighborhood::resource_allocation_matrix(g),
-        ProximityKind::Katz { beta, max_len } => walk::katz_matrix(g, beta, max_len),
-        ProximityKind::Ppr { alpha, iters } => walk::ppr_matrix(g, alpha, iters),
-        ProximityKind::DeepWalk { window } => walk::deepwalk_matrix(g, window),
+        ProximityKind::CommonNeighbors => neighborhood::common_neighbors_matrix_threads(g, threads),
+        ProximityKind::AdamicAdar => neighborhood::adamic_adar_matrix_threads(g, threads),
+        ProximityKind::ResourceAllocation => {
+            neighborhood::resource_allocation_matrix_threads(g, threads)
+        }
+        ProximityKind::Katz { beta, max_len } => {
+            walk::katz_matrix_threads(g, beta, max_len, threads)
+        }
+        ProximityKind::Ppr { alpha, iters } => walk::ppr_matrix_threads(g, alpha, iters, threads),
+        ProximityKind::DeepWalk { window } => walk::deepwalk_matrix_threads(g, window, threads),
         ProximityKind::PreferentialAttachment | ProximityKind::Degree => {
             panic!(
                 "{:?} has a dense matrix; use EdgeProximity::compute or degree::degree_score",

@@ -8,33 +8,70 @@
 //! which is fine for the sparse/medium graphs these measures are meant
 //! for; for hub-heavy graphs prefer the degree or DeepWalk proximities
 //! (see the complexity discussion in DESIGN.md).
+//!
+//! The enumeration is **row-partitioned**: row `i` of the output is
+//! `p_i· = Σ_{w ∈ N(i)} weight(w) · 𝟙[j ∈ N(w), j ≠ i]`, accumulated
+//! into a per-worker dense scratch row. Every row sums its wedge
+//! centres in ascending-neighbour order regardless of how rows are
+//! chunked over threads, so the matrix is bit-identical for any thread
+//! count.
 
 use sp_graph::{Graph, NodeId};
-use sp_linalg::{CooBuilder, CsrMatrix};
+use sp_linalg::{CsrMatrix, CsrRowBlock};
+use sp_parallel::{default_chunk_size, par_map_chunks, resolve_threads};
 
 /// Shared wedge-enumeration core: `p_ij = Σ_{w ∈ N(i)∩N(j)} weight(w)`.
-fn wedge_matrix(g: &Graph, weight: impl Fn(NodeId) -> f64) -> CsrMatrix {
+///
+/// `weight` must be non-negative: a strictly positive partial sum is
+/// what lets the scratch row use exact zero as its "untouched" marker.
+fn wedge_matrix(g: &Graph, weight: impl Fn(NodeId) -> f64, threads: Option<usize>) -> CsrMatrix {
     let n = g.num_nodes();
-    let mut b = CooBuilder::new(n, n);
-    for w in 0..n as NodeId {
-        let cw = weight(w);
-        if cw == 0.0 {
-            continue;
-        }
-        let nb = g.neighbors(w);
-        for (a, &i) in nb.iter().enumerate() {
-            for &j in &nb[a + 1..] {
-                b.push(i as usize, j as usize, cw);
-                b.push(j as usize, i as usize, cw);
+    let w: Vec<f64> = (0..n as NodeId).map(weight).collect();
+    debug_assert!(w.iter().all(|&c| c >= 0.0), "wedge weights must be >= 0");
+    let threads = resolve_threads(threads);
+    let chunk = default_chunk_size(n, threads);
+    let blocks = par_map_chunks(n, chunk, threads, |rows| {
+        let mut block = CsrRowBlock::default();
+        let mut acc = vec![0.0f64; n];
+        let mut touched: Vec<u32> = Vec::new();
+        for i in rows {
+            for &c in g.neighbors(i as NodeId) {
+                let cw = w[c as usize];
+                if cw == 0.0 {
+                    continue;
+                }
+                for &j in g.neighbors(c) {
+                    if j as usize == i {
+                        continue;
+                    }
+                    if acc[j as usize] == 0.0 {
+                        touched.push(j);
+                    }
+                    acc[j as usize] += cw;
+                }
             }
+            touched.sort_unstable();
+            block.row_nnz.push(touched.len());
+            for &j in &touched {
+                block.indices.push(j);
+                block.data.push(acc[j as usize]);
+                acc[j as usize] = 0.0;
+            }
+            touched.clear();
         }
-    }
-    b.build()
+        block
+    });
+    CsrMatrix::from_row_blocks(n, n, blocks)
 }
 
 /// Common-neighbour counts: `p_ij = |N(i) ∩ N(j)|` for `i ≠ j`.
 pub fn common_neighbors_matrix(g: &Graph) -> CsrMatrix {
-    wedge_matrix(g, |_| 1.0)
+    common_neighbors_matrix_threads(g, None)
+}
+
+/// [`common_neighbors_matrix`] with an explicit worker-thread count.
+pub fn common_neighbors_matrix_threads(g: &Graph, threads: Option<usize>) -> CsrMatrix {
+    wedge_matrix(g, |_| 1.0, threads)
 }
 
 /// Adamic–Adar: `p_ij = Σ_{w ∈ N(i)∩N(j)} 1/ln(d_w)`.
@@ -43,26 +80,44 @@ pub fn common_neighbors_matrix(g: &Graph) -> CsrMatrix {
 /// divide by zero anyway; they are skipped. Degree-2+ centres use
 /// `1/ln(d_w)` as defined.
 pub fn adamic_adar_matrix(g: &Graph) -> CsrMatrix {
-    wedge_matrix(g, |w| {
-        let d = g.degree(w);
-        if d >= 2 {
-            1.0 / (d as f64).ln()
-        } else {
-            0.0
-        }
-    })
+    adamic_adar_matrix_threads(g, None)
+}
+
+/// [`adamic_adar_matrix`] with an explicit worker-thread count.
+pub fn adamic_adar_matrix_threads(g: &Graph, threads: Option<usize>) -> CsrMatrix {
+    wedge_matrix(
+        g,
+        |w| {
+            let d = g.degree(w);
+            if d >= 2 {
+                1.0 / (d as f64).ln()
+            } else {
+                0.0
+            }
+        },
+        threads,
+    )
 }
 
 /// Resource allocation: `p_ij = Σ_{w ∈ N(i)∩N(j)} 1/d_w`.
 pub fn resource_allocation_matrix(g: &Graph) -> CsrMatrix {
-    wedge_matrix(g, |w| {
-        let d = g.degree(w);
-        if d >= 1 {
-            1.0 / d as f64
-        } else {
-            0.0
-        }
-    })
+    resource_allocation_matrix_threads(g, None)
+}
+
+/// [`resource_allocation_matrix`] with an explicit worker-thread count.
+pub fn resource_allocation_matrix_threads(g: &Graph, threads: Option<usize>) -> CsrMatrix {
+    wedge_matrix(
+        g,
+        |w| {
+            let d = g.degree(w);
+            if d >= 1 {
+                1.0 / d as f64
+            } else {
+                0.0
+            }
+        },
+        threads,
+    )
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 
 use sp_graph::Graph;
 use sp_linalg::{CooBuilder, CsrMatrix};
+use sp_parallel::{default_chunk_size, par_map_chunks, resolve_threads};
 
 /// Default drop tolerance applied by the walk proximities on graphs
 /// above ~100k edges; keeps `Â^t` fill-in bounded on hub-heavy graphs
@@ -31,10 +32,30 @@ fn prune(m: &CsrMatrix, tol: f64) -> CsrMatrix {
 }
 
 /// `Σ_{l=1..coeffs.len()} coeffs[l-1] · base^l`, pruning entries below
-/// `drop_tol` after each power to bound fill-in.
+/// `drop_tol` after each power to bound fill-in. Uses the thread count
+/// resolved from `SP_THREADS` / available parallelism; see
+/// [`power_series_threads`].
 pub fn power_series(base: &CsrMatrix, coeffs: &[f64], drop_tol: f64) -> CsrMatrix {
+    power_series_threads(base, coeffs, drop_tol, None)
+}
+
+/// [`power_series`] with an explicit worker-thread count (`None`
+/// resolves via [`sp_parallel::resolve_threads`]).
+///
+/// The power iterations are row-partitioned: every thread computes the
+/// same Gustavson row products the serial [`CsrMatrix::spgemm`] would
+/// (with the prune folded into row production), and the row blocks are
+/// reassembled in row order — so the result is **bit-identical for any
+/// thread count**, including to the serial path.
+pub fn power_series_threads(
+    base: &CsrMatrix,
+    coeffs: &[f64],
+    drop_tol: f64,
+    threads: Option<usize>,
+) -> CsrMatrix {
     assert!(!coeffs.is_empty(), "power_series needs at least one term");
     assert_eq!(base.rows(), base.cols(), "power_series needs a square base");
+    let threads = resolve_threads(threads);
     let mut power = prune(base, drop_tol);
     let mut acc = {
         let mut first = power.clone();
@@ -42,12 +63,28 @@ pub fn power_series(base: &CsrMatrix, coeffs: &[f64], drop_tol: f64) -> CsrMatri
         first
     };
     for &c in &coeffs[1..] {
-        power = prune(&power.spgemm(base), drop_tol);
+        power = spgemm_pruned_parallel(&power, base, drop_tol, threads);
         let mut term = power.clone();
         term.scale(c);
         acc = acc.add(&term);
     }
     acc
+}
+
+/// Row-partitioned `a * b` with on-the-fly pruning: chunks of output
+/// rows fan out over the worker pool and are stitched back in row
+/// order. Per-row arithmetic is exactly [`CsrMatrix::spgemm_rows`], so
+/// the product matches the serial `prune(a.spgemm(b))` bit-for-bit.
+fn spgemm_pruned_parallel(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    drop_tol: f64,
+    threads: usize,
+) -> CsrMatrix {
+    let n = a.rows();
+    let chunk = default_chunk_size(n, threads);
+    let blocks = par_map_chunks(n, chunk, threads, |rows| a.spgemm_rows(b, rows, drop_tol));
+    CsrMatrix::from_row_blocks(n, b.cols(), blocks)
 }
 
 /// Truncated Katz index: `Σ_{l=1..max_len} β^l (A^l)_ij`.
@@ -57,12 +94,22 @@ pub fn power_series(base: &CsrMatrix, coeffs: &[f64], drop_tol: f64) -> CsrMatri
 /// 3–4 contribute little (Katz 1953; the paper cites it as a
 /// high-order heuristic).
 pub fn katz_matrix(g: &Graph, beta: f64, max_len: usize) -> CsrMatrix {
+    katz_matrix_threads(g, beta, max_len, None)
+}
+
+/// [`katz_matrix`] with an explicit worker-thread count.
+pub fn katz_matrix_threads(
+    g: &Graph,
+    beta: f64,
+    max_len: usize,
+    threads: Option<usize>,
+) -> CsrMatrix {
     assert!(beta > 0.0 && beta < 1.0, "katz: beta must be in (0,1)");
     assert!(max_len >= 1, "katz: max_len must be >= 1");
     let a = crate::adjacency(g);
     let coeffs: Vec<f64> = (1..=max_len).map(|l| beta.powi(l as i32)).collect();
     let tol = auto_tol(g);
-    power_series(&a, &coeffs, tol)
+    power_series_threads(&a, &coeffs, tol, threads)
 }
 
 /// Truncated personalised-PageRank matrix:
@@ -70,6 +117,16 @@ pub fn katz_matrix(g: &Graph, beta: f64, max_len: usize) -> CsrMatrix {
 /// omitted — self-proximity carries no structural information and
 /// would put `α` on every diagonal).
 pub fn ppr_matrix(g: &Graph, alpha: f64, iters: usize) -> CsrMatrix {
+    ppr_matrix_threads(g, alpha, iters, None)
+}
+
+/// [`ppr_matrix`] with an explicit worker-thread count.
+pub fn ppr_matrix_threads(
+    g: &Graph,
+    alpha: f64,
+    iters: usize,
+    threads: Option<usize>,
+) -> CsrMatrix {
     assert!(alpha > 0.0 && alpha < 1.0, "ppr: alpha must be in (0,1)");
     assert!(iters >= 1, "ppr: iters must be >= 1");
     let a = crate::normalized_adjacency(g);
@@ -77,7 +134,7 @@ pub fn ppr_matrix(g: &Graph, alpha: f64, iters: usize) -> CsrMatrix {
         .map(|t| alpha * (1.0 - alpha).powi(t as i32))
         .collect();
     let tol = auto_tol(g);
-    power_series(&a, &coeffs, tol)
+    power_series_threads(&a, &coeffs, tol, threads)
 }
 
 /// DeepWalk proximity of Yang et al. \[22\]:
@@ -88,11 +145,16 @@ pub fn ppr_matrix(g: &Graph, alpha: f64, iters: usize) -> CsrMatrix {
 /// `v_j` — exactly the co-occurrence statistic DeepWalk's skip-gram
 /// window samples. The paper's `SE-PrivGEmb_DW` uses this with `T = 2`.
 pub fn deepwalk_matrix(g: &Graph, window: usize) -> CsrMatrix {
+    deepwalk_matrix_threads(g, window, None)
+}
+
+/// [`deepwalk_matrix`] with an explicit worker-thread count.
+pub fn deepwalk_matrix_threads(g: &Graph, window: usize, threads: Option<usize>) -> CsrMatrix {
     assert!(window >= 1, "deepwalk: window must be >= 1");
     let a = crate::normalized_adjacency(g);
     let coeffs: Vec<f64> = (1..=window).map(|_| 1.0 / window as f64).collect();
     let tol = auto_tol(g);
-    power_series(&a, &coeffs, tol)
+    power_series_threads(&a, &coeffs, tol, threads)
 }
 
 /// Exact on small graphs, pruned on large ones.

@@ -56,6 +56,22 @@ pub struct TrainConfig {
     pub negative_sampling: NegativeSampling,
     /// RNG seed (drives initialisation, sampling, and noise).
     pub seed: u64,
+    /// Worker threads for the per-example gradient pass (`None`
+    /// resolves via [`sp_parallel::resolve_threads`]: the `SP_THREADS`
+    /// environment variable, then the available parallelism).
+    ///
+    /// An explicit `Some(n > 1)` always routes the gradient pass
+    /// through the worker pool; an auto-resolved count engages it only
+    /// when the batch carries enough arithmetic to amortise the
+    /// per-step pool spawn (so toy configs stay on the serial path).
+    ///
+    /// **Determinism contract:** gradients are computed and clipped in
+    /// parallel but reduced into the batch accumulator serially, in
+    /// batch-sample order, and the batch sampler, noise generator, and
+    /// RDP accountant stay on the caller thread — so for a fixed seed
+    /// the trained model and the privacy spend are byte-identical for
+    /// every thread count (asserted by `tests/parallel_determinism.rs`).
+    pub threads: Option<usize>,
 }
 
 impl Default for TrainConfig {
@@ -73,6 +89,7 @@ impl Default for TrainConfig {
             strategy: PerturbStrategy::NonZero,
             negative_sampling: NegativeSampling::UniformNonNeighbor,
             seed: 0x5EED,
+            threads: None,
         }
     }
 }
@@ -94,6 +111,9 @@ impl TrainConfig {
         }
         if self.clip.is_nan() || self.clip <= 0.0 {
             return Err("clip must be positive".into());
+        }
+        if self.threads == Some(0) {
+            return Err("threads must be >= 1 when set".into());
         }
         if self.strategy.is_private() {
             if self.sigma.is_nan() || self.sigma <= 0.0 {
@@ -126,6 +146,17 @@ pub struct TrainReport {
     /// Mean per-example loss over the final epoch's sampled batches.
     pub final_loss: f64,
 }
+
+/// Minimum per-batch work (examples × contexts × dim) before an
+/// *auto-resolved* thread count fans the gradient pass out over the
+/// worker pool. `sp_parallel` spawns a fresh scoped pool every step
+/// (~100 µs for 4 workers), so the batch must carry on the order of
+/// that much gradient math before parallelism pays; the paper's §VI-A
+/// configuration (B=128, k=5, r=128 ⇒ 98 304) crosses the bar, toy and
+/// test configs do not. An explicit `TrainConfig::threads = Some(n>1)`
+/// bypasses the heuristic — the caller asked for the pool. The cutover
+/// never changes results — only which path computes them.
+const PAR_GRAD_MIN_WORK: usize = 65_536;
 
 /// Runs Algorithm 2 on a graph + proximity weighting.
 #[derive(Clone, Debug)]
@@ -227,6 +258,16 @@ impl Trainer {
         let mut noise = GaussianSampler::new();
         let mut buf = GradBuffer::new();
 
+        // The per-example pass fans out over the worker pool when the
+        // caller asked for threads explicitly, or when an auto-resolved
+        // count meets the per-batch work bar; both paths clip and
+        // accumulate in batch-sample order, so the result is
+        // byte-identical either way (see `TrainConfig::threads`).
+        let threads = sp_parallel::resolve_threads(cfg.threads);
+        let par_grads = threads > 1
+            && (cfg.threads.is_some()
+                || batch * (cfg.negatives + 1) * cfg.dim >= PAR_GRAD_MIN_WORK);
+
         let mut steps_run: u64 = 0;
         let mut epochs_run = 0usize;
         let mut stopped_by_budget = false;
@@ -242,20 +283,44 @@ impl Trainer {
                         break 'training;
                     }
                 }
-                // Line 5: B subgraphs uniformly without replacement.
+                // Line 5: B subgraphs uniformly without replacement
+                // (the sampler stays serial: one RNG stream per run).
                 let idx = rand::seq::index::sample(&mut rng, num_edges, batch);
-                for i in idx.iter() {
-                    let sg = &subgraphs[i];
-                    let p = prox.weights[sg.edge_index];
-                    if final_epoch {
-                        loss_stats.0 += model.loss(sg, p);
-                        loss_stats.1 += 1;
+                if par_grads {
+                    let picked: Vec<usize> = idx.iter().collect();
+                    // Compute + clip per-example gradients in parallel,
+                    // then reduce serially in batch-sample order.
+                    let grads = sp_parallel::par_map(&picked, threads, |&i| {
+                        let sg = &subgraphs[i];
+                        let p = prox.weights[sg.edge_index];
+                        let loss = if final_epoch { model.loss(sg, p) } else { 0.0 };
+                        let mut ebuf = GradBuffer::new();
+                        model.example_grad(sg, p, &mut ebuf);
+                        ebuf.clip(cfg.clip);
+                        (ebuf, loss)
+                    });
+                    for (ebuf, loss) in &grads {
+                        if final_epoch {
+                            loss_stats.0 += loss;
+                            loss_stats.1 += 1;
+                        }
+                        state.accumulate(ebuf);
                     }
-                    model.example_grad(sg, p, &mut buf);
-                    buf.clip(cfg.clip);
-                    state.accumulate(&buf);
+                } else {
+                    for i in idx.iter() {
+                        let sg = &subgraphs[i];
+                        let p = prox.weights[sg.edge_index];
+                        if final_epoch {
+                            loss_stats.0 += model.loss(sg, p);
+                            loss_stats.1 += 1;
+                        }
+                        model.example_grad(sg, p, &mut buf);
+                        buf.clip(cfg.clip);
+                        state.accumulate(&buf);
+                    }
                 }
-                // Lines 6–7: perturb and apply.
+                // Lines 6–7: perturb and apply (serial — the noise
+                // stream is part of the seeded RNG sequence).
                 self.apply_update(&mut model, &mut state, batch, &mut noise, &mut rng);
                 steps_run += 1;
             }
@@ -430,6 +495,7 @@ mod tests {
             strategy,
             negative_sampling: NegativeSampling::UniformNonNeighbor,
             seed: 99,
+            threads: None,
         }
     }
 

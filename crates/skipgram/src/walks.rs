@@ -14,7 +14,8 @@
 //!   corpora if they want a non-private reference with the original
 //!   pipeline.
 
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use sp_graph::{Graph, NodeId};
 use sp_linalg::{CooBuilder, CsrMatrix};
 
@@ -62,9 +63,22 @@ pub fn random_walk<R: Rng + ?Sized>(
     walk
 }
 
+/// Emits the forward-window co-occurrence pairs of one walk into `out`.
+fn emit_window_pairs(walk: &[NodeId], window: usize, out: &mut Vec<(NodeId, NodeId)>) {
+    for i in 0..walk.len() {
+        for j in (i + 1)..walk.len().min(i + 1 + window) {
+            out.push((walk[i], walk[j]));
+        }
+    }
+}
+
 /// Generates the full corpus of window co-occurrence pairs
 /// `(center, context)` (directed: context follows center in the walk,
 /// matching the forward window used by the analytic proximity).
+///
+/// Walks are drawn sequentially from the single `rng` stream; prefer
+/// [`corpus_pairs_seeded`] when the corpus must be reproducible
+/// independently of how the walks are scheduled.
 pub fn corpus_pairs<R: Rng + ?Sized>(
     g: &Graph,
     cfg: WalkConfig,
@@ -75,12 +89,65 @@ pub fn corpus_pairs<R: Rng + ?Sized>(
     for start in 0..g.num_nodes() as NodeId {
         for _ in 0..cfg.walks_per_node {
             let walk = random_walk(g, start, cfg.walk_length, rng);
-            for i in 0..walk.len() {
-                for j in (i + 1)..walk.len().min(i + 1 + cfg.window) {
-                    pairs.push((walk[i], walk[j]));
-                }
-            }
+            emit_window_pairs(&walk, cfg.window, &mut pairs);
         }
+    }
+    pairs
+}
+
+/// One SplitMix64 step — the standard 64-bit finaliser used to spread
+/// a seed over the whole space before per-walk derivation.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The RNG that drives walk number `walk_index` of a seeded corpus:
+/// `SmallRng` seeded with `splitmix64(seed) ⊕ walk_index`.
+///
+/// Deriving each walk's stream from its *index* rather than threading
+/// one RNG through the corpus is what makes the sampled corpus
+/// **thread-count-invariant**: a walk's randomness no longer depends on
+/// how many walks some other worker drew first. The seed is passed
+/// through SplitMix64 *before* the XOR so that related seeds (XOR is
+/// linear: `s ⊕ i` and `(s ⊕ 1) ⊕ (i ⊕ 1)` collide) still yield
+/// disjoint stream families — consecutive seeds must behave as
+/// independent replicates, not permutations of the same walk set.
+pub fn walk_rng(seed: u64, walk_index: u64) -> SmallRng {
+    SmallRng::seed_from_u64(splitmix64(seed) ^ walk_index)
+}
+
+/// Seeded, parallel variant of [`corpus_pairs`]: walk `w` of node `v`
+/// (walk index `v · walks_per_node + w`) is drawn from
+/// [`walk_rng`]`(seed, index)`, walks fan out over the worker pool, and
+/// pairs are concatenated in walk-index order — so for a fixed seed
+/// the corpus is byte-identical for every thread count (`None`
+/// resolves via [`sp_parallel::resolve_threads`]).
+pub fn corpus_pairs_seeded(
+    g: &Graph,
+    cfg: WalkConfig,
+    seed: u64,
+    threads: Option<usize>,
+) -> Vec<(NodeId, NodeId)> {
+    assert!(cfg.window >= 1 && cfg.walk_length >= 1 && cfg.walks_per_node >= 1);
+    let total = g.num_nodes() * cfg.walks_per_node;
+    let threads = sp_parallel::resolve_threads(threads);
+    let chunk = sp_parallel::default_chunk_size(total, threads);
+    let blocks = sp_parallel::par_map_chunks(total, chunk, threads, |walks| {
+        let mut pairs = Vec::new();
+        for widx in walks {
+            let start = (widx / cfg.walks_per_node) as NodeId;
+            let mut rng = walk_rng(seed, widx as u64);
+            let walk = random_walk(g, start, cfg.walk_length, &mut rng);
+            emit_window_pairs(&walk, cfg.window, &mut pairs);
+        }
+        pairs
+    });
+    let mut pairs = Vec::with_capacity(blocks.iter().map(Vec::len).sum());
+    for block in blocks {
+        pairs.extend(block);
     }
     pairs
 }
@@ -94,6 +161,24 @@ pub fn empirical_proximity<R: Rng + ?Sized>(g: &Graph, cfg: WalkConfig, rng: &mu
     let n = g.num_nodes();
     let mut b = CooBuilder::new(n, n);
     for (u, v) in corpus_pairs(g, cfg, rng) {
+        b.push(u as usize, v as usize, 1.0);
+    }
+    let mut m = b.build();
+    m.normalize_rows();
+    m
+}
+
+/// Seeded, parallel variant of [`empirical_proximity`], built from
+/// [`corpus_pairs_seeded`]; inherits its thread-count invariance.
+pub fn empirical_proximity_seeded(
+    g: &Graph,
+    cfg: WalkConfig,
+    seed: u64,
+    threads: Option<usize>,
+) -> CsrMatrix {
+    let n = g.num_nodes();
+    let mut b = CooBuilder::new(n, n);
+    for (u, v) in corpus_pairs_seeded(g, cfg, seed, threads) {
         b.push(u as usize, v as usize, 1.0);
     }
     let mut m = b.build();
@@ -195,5 +280,90 @@ mod tests {
         let a = corpus_pairs(&g, cfg, &mut StdRng::seed_from_u64(6));
         let b = corpus_pairs(&g, cfg, &mut StdRng::seed_from_u64(6));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeded_corpus_is_thread_count_invariant() {
+        let g = Graph::from_edges(7, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0)]);
+        let cfg = WalkConfig {
+            walks_per_node: 4,
+            walk_length: 12,
+            window: 2,
+        };
+        let one = corpus_pairs_seeded(&g, cfg, 0xFEED, Some(1));
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                one,
+                corpus_pairs_seeded(&g, cfg, 0xFEED, Some(threads)),
+                "threads={threads}"
+            );
+        }
+        // 13-node walks, window 2: 11 positions emit 2 pairs, one emits 1.
+        assert_eq!(one.len(), 7 * 4 * 23);
+        // Walks stay on the graph regardless of which worker drew them.
+        for (u, v) in &one {
+            let d = (*u as i64 - *v as i64)
+                .rem_euclid(7)
+                .min((*v as i64 - *u as i64).rem_euclid(7));
+            assert!(d <= 2, "pair ({u},{v}) at ring distance {d}");
+        }
+    }
+
+    #[test]
+    fn seeded_corpus_differs_across_seeds() {
+        let g = cycle(10);
+        let cfg = WalkConfig::default();
+        assert_ne!(
+            corpus_pairs_seeded(&g, cfg, 1, Some(2)),
+            corpus_pairs_seeded(&g, cfg, 2, Some(2))
+        );
+    }
+
+    #[test]
+    fn consecutive_seeds_are_not_walk_permutations() {
+        // Regression: with a raw `seed ^ index` derivation, seeds s and
+        // s ⊕ 1 reuse each other's walk streams (adjacent walks swap),
+        // so replicate runs over consecutive seeds had zero corpus
+        // variance. The SplitMix64 premix must break that linearity.
+        let g = cycle(10);
+        let cfg = WalkConfig::default();
+        for s in [0u64, 7, 42, 1000] {
+            let a = corpus_pairs_seeded(&g, cfg, s, Some(1));
+            let b = corpus_pairs_seeded(&g, cfg, s ^ 1, Some(1));
+            let mut a_sorted = a.clone();
+            let mut b_sorted = b.clone();
+            a_sorted.sort_unstable();
+            b_sorted.sort_unstable();
+            assert_ne!(
+                a_sorted,
+                b_sorted,
+                "seeds {s} and {} produced the same walk multiset",
+                s ^ 1
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_empirical_proximity_converges_to_analytic() {
+        // The seeded/parallel corpus must converge to the same analytic
+        // (Â + Â²)/2 matrix the serial corpus does.
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)]);
+        let cfg = WalkConfig {
+            walks_per_node: 600,
+            walk_length: 30,
+            window: 2,
+        };
+        let empirical = empirical_proximity_seeded(&g, cfg, 4, Some(4));
+        let analytic = sp_proximity::walk::deepwalk_matrix(&g, 2);
+        for i in 0..6 {
+            for j in 0..6 {
+                let e = empirical.get(i, j);
+                let a = analytic.get(i, j);
+                assert!(
+                    (e - a).abs() < 0.02,
+                    "({i},{j}): empirical {e:.4} vs analytic {a:.4}"
+                );
+            }
+        }
     }
 }

@@ -15,5 +15,6 @@ pub use sp_eval as eval;
 pub use sp_graph as graph;
 pub use sp_linalg as linalg;
 pub use sp_nn as nn;
+pub use sp_parallel as parallel;
 pub use sp_proximity as proximity;
 pub use sp_skipgram as skipgram;
