@@ -1,5 +1,7 @@
 //! Ablation studies: Theorem 3 verification, negative-sampling design,
 //! the evaluation-norm artifact, and sensitivity scaling.
+//! Runs on real graphs when `--data-dir <dir>` (or `SP_DATA_DIR`) points
+//! at downloaded SNAP/KONECT edge lists; synthetic stand-ins otherwise.
 use sp_bench::experiments::ablation;
 use sp_bench::harness::BenchMode;
 

@@ -1,4 +1,6 @@
 //! Reproduces Fig. 3: StrucEqu vs privacy budget, 8 methods x 6 datasets.
+//! Runs on real graphs when `--data-dir <dir>` (or `SP_DATA_DIR`) points
+//! at downloaded SNAP/KONECT edge lists; synthetic stand-ins otherwise.
 use sp_bench::experiments::fig3;
 use sp_bench::harness::BenchMode;
 

@@ -1,4 +1,6 @@
 //! Reproduces Fig. 4: link-prediction AUC vs privacy budget, 8 methods x 3 datasets.
+//! Runs on real graphs when `--data-dir <dir>` (or `SP_DATA_DIR`) points
+//! at downloaded SNAP/KONECT edge lists; synthetic stand-ins otherwise.
 use sp_bench::experiments::fig4;
 use sp_bench::harness::BenchMode;
 

@@ -1,4 +1,6 @@
 //! Runs every experiment (Tables II-VI, Figs. 3-4, ablations) in order.
+//! Runs on real graphs when `--data-dir <dir>` (or `SP_DATA_DIR`) points
+//! at downloaded SNAP/KONECT edge lists; synthetic stand-ins otherwise.
 use sp_bench::experiments::{ablation, fig3, fig4, param_tables, table6};
 use sp_bench::harness::BenchMode;
 

@@ -1,4 +1,6 @@
 //! Reproduces Table V: StrucEqu vs negative-sample count k at epsilon = 3.5.
+//! Runs on real graphs when `--data-dir <dir>` (or `SP_DATA_DIR`) points
+//! at downloaded SNAP/KONECT edge lists; synthetic stand-ins otherwise.
 use sp_bench::experiments::param_tables;
 use sp_bench::harness::BenchMode;
 

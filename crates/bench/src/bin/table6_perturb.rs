@@ -1,4 +1,6 @@
 //! Reproduces Table VI: naive vs non-zero perturbation strategies.
+//! Runs on real graphs when `--data-dir <dir>` (or `SP_DATA_DIR`) points
+//! at downloaded SNAP/KONECT edge lists; synthetic stand-ins otherwise.
 use sp_bench::experiments::table6;
 use sp_bench::harness::BenchMode;
 

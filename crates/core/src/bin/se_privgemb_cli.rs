@@ -4,19 +4,31 @@
 //! ```text
 //! se_privgemb_cli --input graph.txt --output emb.tsv \
 //!     --dim 128 --epsilon 3.5 --epochs 200 --proximity dw --seed 1
+//! se_privgemb_cli --dataset arxiv --data-dir ./data --output emb.tsv
 //! ```
 //!
-//! The input format is one `u v` pair per line (`#`/`%` comments
-//! allowed, arbitrary integer ids — compacted on load). The output is
-//! one row per node: `node_id \t x_1 \t ... \t x_r`, using the
-//! original ids.
+//! `--input` takes a SNAP/KONECT-style edge list — `u v` pairs split
+//! by spaces, tabs, or commas; `#`/`%` comments; arbitrary integer
+//! ids (compacted on load); `.gz` files are decompressed
+//! transparently. Alternatively `--dataset` names one of the six
+//! paper graphs: the real edge list is loaded from `--data-dir` when
+//! present there, and the seeded synthetic stand-in (at `--scale`) is
+//! generated otherwise. The output is one row per node:
+//! `node_id \t x_1 \t ... \t x_r`, using the original ids.
 
 use se_privgemb::{PerturbStrategy, ProximityKind, SePrivGEmb};
+use sp_datasets::PaperDataset;
+use sp_graph::io::ReadOptions;
+use sp_graph::Graph;
 use std::io::Write;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
     input: String,
+    dataset: Option<PaperDataset>,
+    data_dir: Option<PathBuf>,
+    scale: f64,
     output: String,
     dim: usize,
     epsilon: f64,
@@ -28,14 +40,32 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: se_privgemb_cli --input <edge-list> --output <tsv>\n\
-     \t[--dim 128] [--epsilon 3.5] [--delta 1e-5] [--epochs 200]\n\
-     \t[--proximity dw|deg|cn|aa|ra|pa] [--seed 1] [--non-private]"
+    "usage: se_privgemb_cli (--input <edge-list[.gz]> | --dataset <name>) --output <tsv>\n\
+     \t[--data-dir <dir>] [--scale 1.0] [--dim 128] [--epsilon 3.5]\n\
+     \t[--delta 1e-5] [--epochs 200] [--proximity dw|deg|cn|aa|ra|pa]\n\
+     \t[--seed 1] [--non-private]\n\
+     \t<name>: chameleon|ppi|power|arxiv|blogcatalog|dblp (real file from\n\
+     \t--data-dir when present, seeded synthetic stand-in otherwise)"
+}
+
+fn parse_dataset(name: &str) -> Result<PaperDataset, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "chameleon" => Ok(PaperDataset::Chameleon),
+        "ppi" => Ok(PaperDataset::Ppi),
+        "power" => Ok(PaperDataset::Power),
+        "arxiv" => Ok(PaperDataset::Arxiv),
+        "blogcatalog" => Ok(PaperDataset::BlogCatalog),
+        "dblp" => Ok(PaperDataset::Dblp),
+        other => Err(format!("unknown dataset {other:?}\n{}", usage())),
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         input: String::new(),
+        dataset: None,
+        data_dir: None,
+        scale: 1.0,
         output: String::new(),
         dim: 128,
         epsilon: 3.5,
@@ -57,6 +87,13 @@ fn parse_args() -> Result<Args, String> {
         };
         match flag {
             "--input" => args.input = value(&mut i)?,
+            "--dataset" => args.dataset = Some(parse_dataset(&value(&mut i)?)?),
+            "--data-dir" => args.data_dir = Some(PathBuf::from(value(&mut i)?)),
+            "--scale" => {
+                args.scale = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?
+            }
             "--output" => args.output = value(&mut i)?,
             "--dim" => args.dim = value(&mut i)?.parse().map_err(|e| format!("--dim: {e}"))?,
             "--epsilon" => {
@@ -92,10 +129,53 @@ fn parse_args() -> Result<Args, String> {
         }
         i += 1;
     }
-    if args.input.is_empty() || args.output.is_empty() {
-        return Err(format!("--input and --output are required\n{}", usage()));
+    if args.input.is_empty() == args.dataset.is_none() {
+        return Err(format!(
+            "exactly one of --input and --dataset is required\n{}",
+            usage()
+        ));
+    }
+    if args.output.is_empty() {
+        return Err(format!("--output is required\n{}", usage()));
     }
     Ok(args)
+}
+
+/// The graph to train on plus each dense id's original label.
+fn provision(args: &Args) -> Result<(Graph, Vec<u64>, String), String> {
+    let opts = ReadOptions {
+        enforce_declared_counts: true,
+        skip_column_header: true,
+        ..ReadOptions::default()
+    };
+    let from_file = |path: &std::path::Path| -> Result<(Graph, Vec<u64>, String), String> {
+        let doc = sp_datasets::loaders::load_edge_list_path(path, opts)
+            .map_err(|e| format!("failed to read {}: {e}", path.display()))?;
+        let mut original: Vec<u64> = vec![0; doc.id_map.len()];
+        for (&orig, &dense) in &doc.id_map {
+            original[dense as usize] = orig;
+        }
+        Ok((doc.graph, original, path.display().to_string()))
+    };
+    match args.dataset {
+        None => from_file(std::path::Path::new(&args.input)),
+        Some(ds) => {
+            if let Some(dir) = &args.data_dir {
+                if let Some(path) = ds.locate(dir) {
+                    return from_file(&path);
+                }
+                eprintln!(
+                    "note: no {} edge list under {}; generating the synthetic stand-in",
+                    ds.name(),
+                    dir.display()
+                );
+            }
+            let g = ds.generate(args.scale, args.seed);
+            let original = (0..g.num_nodes() as u64).collect();
+            let label = format!("{} (synthetic, scale {})", ds.name(), args.scale);
+            Ok((g, original, label))
+        }
+    }
 }
 
 #[allow(clippy::needless_range_loop)]
@@ -108,16 +188,15 @@ fn main() -> ExitCode {
         }
     };
 
-    let (g, id_map) = match sp_graph::io::read_edge_list_file(&args.input) {
+    let (g, original, source) = match provision(&args) {
         Ok(x) => x,
         Err(e) => {
-            eprintln!("failed to read {}: {e}", args.input);
+            eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
     eprintln!(
-        "loaded {}: {} nodes, {} edges",
-        args.input,
+        "loaded {source}: {} nodes, {} edges",
         g.num_nodes(),
         g.num_edges()
     );
@@ -141,11 +220,6 @@ fn main() -> ExitCode {
         result.report.stopped_by_budget
     );
 
-    // Invert the id map so output rows carry the original ids.
-    let mut original: Vec<u64> = vec![0; g.num_nodes()];
-    for (&orig, &dense) in &id_map {
-        original[dense as usize] = orig;
-    }
     let emb = result.embeddings();
     let out = match std::fs::File::create(&args.output) {
         Ok(f) => f,

@@ -4,22 +4,30 @@
 //! evaluation datasets.
 //!
 //! The real datasets (Chameleon, PPI, Power, Arxiv, BlogCatalog, DBLP)
-//! are external downloads; this crate generates graphs with the *same
-//! node and edge counts* and the matching topology family, per the
-//! substitution policy in DESIGN.md. If you have the real edge lists,
-//! load them with `sp_graph::io::read_edge_list_file` — every
-//! downstream API takes a plain [`sp_graph::Graph`].
+//! are external downloads; this crate both generates stand-ins with
+//! the *same node and edge counts* and matching topology family, and
+//! ingests the real files when they are on disk — every downstream
+//! API takes a plain [`sp_graph::Graph`].
 //!
 //! - [`generators`]: Erdős–Rényi, Barabási–Albert, Holme–Kim
 //!   (power-law + clustering), Watts–Strogatz, and random-tree-plus-
 //!   shortcuts, all steerable to an exact edge count;
-//! - [`paper`]: the six named stand-ins with their published sizes
-//!   and a scale knob for quick runs.
+//! - [`inflate`]: a pure-Rust RFC 1951/1952 DEFLATE + gzip decoder
+//!   (the build has no registry, so `flate2` cannot be vendored);
+//! - [`loaders`]: SNAP / KONECT edge-list and label-sidecar parsing,
+//!   gzip-transparent, with typed [`LoadError`]s and per-dataset
+//!   filename manifests;
+//! - [`paper`]: the six named datasets — synthetic stand-ins with a
+//!   scale knob, plus [`PaperDataset::load`] /
+//!   [`PaperDataset::resolve`] for running on the real graphs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod generators;
+pub mod inflate;
+pub mod loaders;
 pub mod paper;
 
+pub use loaders::LoadError;
 pub use paper::PaperDataset;

@@ -1,0 +1,88 @@
+//! Property tests: random edge lists survive the writer → loader and
+//! gzip-writer → inflater round trips, up to the node relabeling
+//! witnessed by the returned id map.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use sp_datasets::inflate::{gunzip, gzip_store};
+use sp_datasets::loaders::load_edge_list_bytes;
+use sp_graph::io::{write_edge_list, ReadOptions};
+use sp_graph::Graph;
+
+/// Checks `loaded` is the image of `g` under the loader's relabeling.
+fn assert_isomorphic(g: &Graph, bytes: &[u8], opts: ReadOptions) -> Result<(), TestCaseError> {
+    let doc = load_edge_list_bytes(bytes, opts).expect("round-trip parse");
+    prop_assert_eq!(doc.graph.num_edges(), g.num_edges());
+    for &(u, v) in g.edges() {
+        let a = doc.id_map[&(u as u64)];
+        let b = doc.id_map[&(v as u64)];
+        prop_assert!(
+            doc.graph.has_edge(a, b),
+            "edge ({u},{v}) lost across the round trip"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn stored_gzip_writer_inverts_through_inflater(
+        data in proptest::collection::vec((0u16..256).prop_map(|b| b as u8), 0..2048),
+    ) {
+        let z = gzip_store(&data);
+        prop_assert_eq!(gunzip(&z).expect("own framing must inflate"), data);
+    }
+
+    #[test]
+    fn edge_list_round_trips_through_writer_and_loader(
+        raw in proptest::collection::vec((0u32..24, 0u32..24), 0..80),
+    ) {
+        let g = Graph::from_edges(24, raw.iter().copied());
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        // Count enforcement must accept our own writer's banner even
+        // when the graph has isolated nodes the edge list cannot show.
+        let opts = ReadOptions { enforce_declared_counts: true, ..ReadOptions::default() };
+        assert_isomorphic(&g, &buf, opts)?;
+    }
+
+    #[test]
+    fn konect_gzip_round_trips_through_inflater_and_loader(
+        raw in proptest::collection::vec((0u32..24, 0u32..24), 1..80),
+    ) {
+        let g = Graph::from_edges(24, raw.iter().copied());
+        prop_assume!(g.num_edges() > 0);
+        // KONECT shape: 1-based ids, tab-separated, numeric meta line
+        // declaring exactly the raw record and distinct-node counts —
+        // so strict count enforcement must also hold.
+        let distinct: std::collections::HashSet<u32> =
+            g.edges().iter().flat_map(|&(u, v)| [u, v]).collect();
+        let mut text = format!("% sym unweighted\n% {} {} {}\n", g.num_edges(), distinct.len(), distinct.len());
+        for &(u, v) in g.edges() {
+            text.push_str(&format!("{}\t{}\n", u + 1, v + 1));
+        }
+        let z = gzip_store(text.as_bytes());
+        let opts = ReadOptions { enforce_declared_counts: true, ..ReadOptions::default() };
+        let doc = load_edge_list_bytes(&z, opts).expect("gzipped KONECT parse");
+        prop_assert_eq!(doc.graph.num_edges(), g.num_edges());
+        prop_assert_eq!(doc.graph.num_nodes(), distinct.len());
+        for &(u, v) in g.edges() {
+            let a = doc.id_map[&(u as u64 + 1)];
+            let b = doc.id_map[&(v as u64 + 1)];
+            prop_assert!(doc.graph.has_edge(a, b));
+        }
+    }
+
+    #[test]
+    fn gzipped_and_plain_loads_agree(
+        raw in proptest::collection::vec((0u32..16, 0u32..16), 0..40),
+    ) {
+        let g = Graph::from_edges(16, raw.iter().copied());
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let plain = load_edge_list_bytes(&buf, ReadOptions::default()).unwrap();
+        let zipped = load_edge_list_bytes(&gzip_store(&buf), ReadOptions::default()).unwrap();
+        prop_assert_eq!(plain.graph.edges(), zipped.graph.edges());
+        prop_assert_eq!(plain.data_lines, zipped.data_lines);
+    }
+}

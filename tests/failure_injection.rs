@@ -1,11 +1,17 @@
 //! Failure-injection tests: pathological inputs and extreme
 //! hyper-parameters must either fail fast with a clear panic or
-//! degrade gracefully — never produce NaN embeddings or hang.
+//! degrade gracefully — never produce NaN embeddings or hang. The
+//! dataset loaders get the same treatment: corrupt archives and
+//! malformed edge lists must surface as typed [`LoadError`]s, never
+//! panics.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use se_privgemb_suite::core::{PerturbStrategy, ProximityKind, SePrivGEmb};
 use se_privgemb_suite::datasets::generators;
+use se_privgemb_suite::datasets::inflate::{gzip_store, InflateError};
+use se_privgemb_suite::datasets::loaders::{load_edge_list_bytes, LoadError};
+use se_privgemb_suite::graph::io::ReadOptions;
 use sp_graph::Graph;
 
 fn assert_finite(result: &se_privgemb_suite::core::pipeline::EmbeddingResult, label: &str) {
@@ -148,6 +154,88 @@ fn disconnected_components_train_independently_without_nan() {
         .build()
         .fit(&g);
     assert_finite(&result, "disconnected");
+}
+
+// --- dataset-loader failure injection ----------------------------------
+
+#[test]
+fn truncated_gzip_stream_is_typed_not_a_panic() {
+    let z = gzip_store(b"1 2\n2 3\n3 4\n");
+    for cut in 0..z.len() {
+        match load_edge_list_bytes(&z[..cut], ReadOptions::default()) {
+            Err(LoadError::Gzip(InflateError::UnexpectedEof)) => {}
+            // A 0–1 byte prefix is not gzip-shaped at all and goes down
+            // the plain-text path: empty parse or a typed parse error.
+            Ok(_) | Err(LoadError::Parse { .. }) if cut < 2 => {}
+            other => panic!("cut {cut}: expected typed EOF, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn gzip_crc_corruption_is_typed() {
+    let mut z = gzip_store(b"1 2\n");
+    let n = z.len();
+    z[n - 7] ^= 0x10;
+    assert!(matches!(
+        load_edge_list_bytes(&z, ReadOptions::default()),
+        Err(LoadError::Gzip(InflateError::CrcMismatch { .. }))
+    ));
+}
+
+#[test]
+fn non_utf8_bytes_are_typed() {
+    // Plain bytes with an invalid UTF-8 sequence mid-stream…
+    let err = load_edge_list_bytes(b"1 2\n\xFF\xFE 3\n", ReadOptions::default()).unwrap_err();
+    assert!(matches!(err, LoadError::NonUtf8 { valid_up_to: 4 }));
+    // …and the same bytes arriving through the gzip path.
+    let err = load_edge_list_bytes(&gzip_store(b"1 2\n\xFF\xFE 3\n"), ReadOptions::default())
+        .unwrap_err();
+    assert!(matches!(err, LoadError::NonUtf8 { valid_up_to: 4 }));
+}
+
+#[test]
+fn self_loops_rejected_in_strict_mode() {
+    let err = load_edge_list_bytes(b"1 2\n4 4\n", ReadOptions::strict()).unwrap_err();
+    assert!(matches!(err, LoadError::SelfLoop { line: 2 }));
+}
+
+#[test]
+fn duplicate_edges_rejected_in_strict_mode() {
+    let err = load_edge_list_bytes(b"1 2\n2 3\n2 1\n", ReadOptions::strict()).unwrap_err();
+    assert!(matches!(err, LoadError::DuplicateEdge { line: 3 }));
+}
+
+#[test]
+fn out_of_range_ids_are_typed() {
+    // One past u64::MAX cannot be an id.
+    let err =
+        load_edge_list_bytes(b"18446744073709551616 1\n", ReadOptions::default()).unwrap_err();
+    assert!(matches!(err, LoadError::Parse { line: 1, .. }));
+    // Negative ids are likewise a parse error, not a wrap-around.
+    let err = load_edge_list_bytes(b"-1 2\n", ReadOptions::default()).unwrap_err();
+    assert!(matches!(err, LoadError::Parse { line: 1, .. }));
+    // u64::MAX itself is representable and compacts fine.
+    let doc = load_edge_list_bytes(b"18446744073709551615 1\n", ReadOptions::default()).unwrap();
+    assert_eq!(doc.graph.num_edges(), 1);
+}
+
+#[test]
+fn declared_count_lies_are_typed() {
+    let text = b"% 9 3 3\n1 2\n2 3\n";
+    let opts = ReadOptions {
+        enforce_declared_counts: true,
+        ..ReadOptions::default()
+    };
+    let err = load_edge_list_bytes(text, opts).unwrap_err();
+    assert!(matches!(
+        err,
+        LoadError::SizeMismatch {
+            what: "edges",
+            declared: 9,
+            actual: 2,
+        }
+    ));
 }
 
 #[test]
