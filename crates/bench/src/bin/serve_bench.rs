@@ -1,0 +1,184 @@
+//! Serving-stack benchmark: queries/sec and recall@10 for the IVF
+//! index in `sp_serve`, measured with a multithreaded closed-loop
+//! query load against a BlogCatalog-scale seeded embedding.
+//!
+//! Emits `BENCH_serve.json` (machine-readable, committed at the repo
+//! root) and a human summary on stdout. The run doubles as a
+//! regression gate: it exits non-zero if recall@10 drops below 0.95 or
+//! if the IVF result sets differ between 1-thread and 4-thread index
+//! builds (the workspace determinism contract).
+//!
+//! Flags: `--out <path>` (default `BENCH_serve.json`), `--full`
+//! (larger query load; same corpus — size is fixed so the recall gate
+//! is comparable across runs).
+
+use sp_model::Provenance;
+use sp_serve::{synthetic, EmbeddingStore, IvfConfig, IvfIndex, Neighbor};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// BlogCatalog's published node count: the smallest "real" scale the
+/// paper evaluates, and the floor the acceptance gate names (>=10k).
+const NODES: usize = 10_312;
+const DIM: usize = 16;
+const CLUSTERS: usize = 40;
+const SEED: u64 = 0x5E21;
+const K: usize = 10;
+const RECALL_FLOOR: f64 = 0.95;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let out_path = argv
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| argv.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let full = argv.iter().any(|a| a == "--full");
+    let query_nodes: Vec<u32> = sample_nodes(if full { 2000 } else { 500 });
+    let load_threads = sp_parallel::resolve_threads(None).max(1);
+
+    println!("=== sp_serve bench: {NODES} nodes, dim {DIM}, k={K} ===");
+    let store = EmbeddingStore::from_f32(
+        synthetic::clustered_embedding(NODES, DIM, CLUSTERS, SEED),
+        Provenance::non_private(SEED),
+    );
+
+    // Index build (timed) at the default quality point, plus a
+    // 1-thread rebuild for the determinism gate.
+    let cfg = IvfConfig {
+        nlist: 64,
+        nprobe: 16,
+        ..IvfConfig::default()
+    };
+    let t0 = Instant::now();
+    let index = IvfIndex::build(&store, cfg, Some(4));
+    let build_secs = t0.elapsed().as_secs_f64();
+    let index_t1 = IvfIndex::build(&store, cfg, Some(1));
+
+    // Ground truth from the brute-force oracle.
+    let t0 = Instant::now();
+    let exact: Vec<Vec<Neighbor>> = query_nodes
+        .iter()
+        .map(|&q| store.exact_top_k_node(q, K))
+        .collect();
+    let exact_secs = t0.elapsed().as_secs_f64();
+
+    // Recall@10 and the cross-thread determinism gate in one pass.
+    let mut recall_sum = 0.0;
+    let mut deterministic = true;
+    for (i, &q) in query_nodes.iter().enumerate() {
+        let approx = index.top_k_node(&store, q, K, cfg.nprobe);
+        let approx_t1 = index_t1.top_k_node(&store, q, K, cfg.nprobe);
+        if approx != approx_t1 {
+            deterministic = false;
+        }
+        recall_sum += sp_serve::recall_at_k(&approx, &exact[i]);
+    }
+    let recall = recall_sum / query_nodes.len() as f64;
+    println!(
+        "recall@{K} = {recall:.4} over {} queries (floor {RECALL_FLOOR})",
+        query_nodes.len()
+    );
+    println!("deterministic across SP_THREADS=1/4 index builds: {deterministic}");
+
+    // Closed-loop load: each worker issues its share of the query set
+    // in a loop until every thread has completed `rounds` passes.
+    let rounds = if full { 40 } else { 10 };
+    let (ivf_qps, ivf_queries) = closed_loop(load_threads, rounds, &query_nodes, |q| {
+        index.top_k_node(&store, q, K, cfg.nprobe).len()
+    });
+    let (exact_qps, _) = closed_loop(load_threads, 1.max(rounds / 10), &query_nodes, |q| {
+        store.exact_top_k_node(q, K).len()
+    });
+    println!(
+        "IVF: {ivf_qps:.0} queries/sec ({ivf_queries} queries, {load_threads} threads); \
+         exact: {exact_qps:.0} queries/sec"
+    );
+
+    let json = format!(
+        r#"{{
+  "description": "sp_serve IVF serving benchmark: closed-loop top-{K} queries over a seeded clustered embedding (PR 6). Regenerate with `cargo run --release -p sp_bench --bin sp_serve_bench`.",
+  "config": {{
+    "nodes": {NODES},
+    "dim": {DIM},
+    "clusters": {CLUSTERS},
+    "seed": {SEED},
+    "k": {K},
+    "nlist": {nlist},
+    "nprobe": {nprobe},
+    "queries": {nq},
+    "load_threads": {load_threads},
+    "rounds": {rounds}
+  }},
+  "results": {{
+    "recall_at_10": {recall:.4},
+    "recall_floor": {RECALL_FLOOR},
+    "deterministic_across_thread_counts": {deterministic},
+    "ivf_queries_per_sec": {ivf_qps:.1},
+    "exact_queries_per_sec": {exact_qps:.1},
+    "ivf_speedup_over_exact": {speedup:.2},
+    "index_build_secs": {build_secs:.3},
+    "exact_oracle_secs_per_query": {oracle_per_q:.6}
+  }}
+}}
+"#,
+        nlist = cfg.nlist,
+        nprobe = cfg.nprobe,
+        nq = query_nodes.len(),
+        speedup = ivf_qps / exact_qps,
+        oracle_per_q = exact_secs / query_nodes.len() as f64,
+    );
+    match std::fs::File::create(&out_path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("[json] {out_path}"),
+        Err(e) => eprintln!("warning: cannot write {out_path}: {e}"),
+    }
+
+    if recall < RECALL_FLOOR {
+        eprintln!("FAIL: recall@{K} {recall:.4} below floor {RECALL_FLOOR}");
+        std::process::exit(1);
+    }
+    if !deterministic {
+        eprintln!("FAIL: IVF result sets differ across index-build thread counts");
+        std::process::exit(1);
+    }
+}
+
+/// Deterministic query-node sample: a fixed stride through the id
+/// space so every run (and CI) asks the same questions.
+fn sample_nodes(count: usize) -> Vec<u32> {
+    let stride = (NODES / count).max(1);
+    (0..count).map(|i| ((i * stride) % NODES) as u32).collect()
+}
+
+/// Runs `work` over the query set from `threads` closed-loop workers,
+/// `rounds` full passes each; returns (queries/sec, total queries).
+fn closed_loop<F>(threads: usize, rounds: usize, queries: &[u32], work: F) -> (f64, usize)
+where
+    F: Fn(u32) -> usize + Sync,
+{
+    let issued = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let issued = &issued;
+            let work = &work;
+            scope.spawn(move || {
+                let mut sink = 0usize;
+                for _ in 0..rounds {
+                    // Each worker walks the query list at its own
+                    // offset so threads don't stampede one node.
+                    for (i, &q) in queries.iter().enumerate() {
+                        if i % threads == worker {
+                            sink += work(q);
+                            issued.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                std::hint::black_box(sink);
+            });
+        }
+    });
+    let total = issued.load(Ordering::Relaxed);
+    (total as f64 / t0.elapsed().as_secs_f64(), total)
+}

@@ -1,10 +1,17 @@
 //! Command-line front end: train SE-PrivGEmb on an edge-list file and
-//! write the private embeddings as TSV.
+//! publish the private embeddings — then query them back.
 //!
 //! ```text
+//! # Train and publish (TSV dump, or the binary .spm model format):
 //! se_privgemb_cli --input graph.txt --output emb.tsv \
 //!     --dim 128 --epsilon 3.5 --epochs 200 --proximity dw --seed 1
-//! se_privgemb_cli --dataset arxiv --data-dir ./data --output emb.tsv
+//! se_privgemb_cli --dataset arxiv --output model.spm --output-format model
+//!
+//! # Serve queries against a published model (zero privacy cost):
+//! se_privgemb_cli query --model model.spm --node 3 --k 10
+//! se_privgemb_cli query --model model.spm --node 3 --k 10 \
+//!     --ivf-nlist 32 --nprobe 4 --check-recall 0.9
+//! se_privgemb_cli query --model model.spm --link 3 17
 //! ```
 //!
 //! `--input` takes a SNAP/KONECT-style edge list — `u v` pairs split
@@ -13,16 +20,27 @@
 //! transparently. Alternatively `--dataset` names one of the six
 //! paper graphs: the real edge list is loaded from `--data-dir` when
 //! present there, and the seeded synthetic stand-in (at `--scale`) is
-//! generated otherwise. The output is one row per node:
-//! `node_id \t x_1 \t ... \t x_r`, using the original ids.
+//! generated otherwise. TSV output is one row per node:
+//! `node_id \t x_1 \t ... \t x_r`, using the original ids; model
+//! output is the versioned, checksummed `sp_model` format holding both
+//! skip-gram matrices and the run's provenance (seed, ε, δ spent),
+//! addressed by dense node index.
 
 use se_privgemb::{PerturbStrategy, ProximityKind, SePrivGEmb};
 use sp_datasets::PaperDataset;
 use sp_graph::io::ReadOptions;
 use sp_graph::Graph;
+use sp_model::{ModelFile, Provenance};
+use sp_serve::{recall_at_k, EmbeddingStore, IvfConfig, IvfIndex};
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    Tsv,
+    Model,
+}
 
 struct Args {
     input: String,
@@ -30,6 +48,7 @@ struct Args {
     data_dir: Option<PathBuf>,
     scale: f64,
     output: String,
+    output_format: OutputFormat,
     dim: usize,
     epsilon: f64,
     delta: f64,
@@ -39,13 +58,29 @@ struct Args {
     non_private: bool,
 }
 
+struct QueryArgs {
+    model: PathBuf,
+    node: Option<u32>,
+    k: usize,
+    link: Option<(u32, u32)>,
+    ivf_nlist: Option<usize>,
+    nprobe: Option<usize>,
+    check_recall: Option<f64>,
+}
+
 fn usage() -> &'static str {
-    "usage: se_privgemb_cli (--input <edge-list[.gz]> | --dataset <name>) --output <tsv>\n\
-     \t[--data-dir <dir>] [--scale 1.0] [--dim 128] [--epsilon 3.5]\n\
-     \t[--delta 1e-5] [--epochs 200] [--proximity dw|deg|cn|aa|ra|pa]\n\
+    "usage: se_privgemb_cli (--input <edge-list[.gz]> | --dataset <name>) --output <file>\n\
+     \t[--output-format tsv|model] [--data-dir <dir>] [--scale 1.0] [--dim 128]\n\
+     \t[--epsilon 3.5] [--delta 1e-5] [--epochs 200] [--proximity dw|deg|cn|aa|ra|pa]\n\
      \t[--seed 1] [--non-private]\n\
      \t<name>: chameleon|ppi|power|arxiv|blogcatalog|dblp (real file from\n\
-     \t--data-dir when present, seeded synthetic stand-in otherwise)"
+     \t--data-dir when present, seeded synthetic stand-in otherwise)\n\
+     \n\
+     usage: se_privgemb_cli query --model <file.spm> (--node <id> | --link <u> <v>)\n\
+     \t[--k 10] [--ivf-nlist <n> [--nprobe <p>]] [--check-recall <min>]\n\
+     \tTop-k nearest neighbours (or a link score) from a published model;\n\
+     \t--check-recall compares the ANN answer against the exact oracle and\n\
+     \tfails the process when recall@k drops below <min>."
 }
 
 fn parse_dataset(name: &str) -> Result<PaperDataset, String> {
@@ -60,13 +95,14 @@ fn parse_dataset(name: &str) -> Result<PaperDataset, String> {
     }
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         input: String::new(),
         dataset: None,
         data_dir: None,
         scale: 1.0,
         output: String::new(),
+        output_format: OutputFormat::Tsv,
         dim: 128,
         epsilon: 3.5,
         delta: 1e-5,
@@ -75,7 +111,6 @@ fn parse_args() -> Result<Args, String> {
         seed: 1,
         non_private: false,
     };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
         let flag = argv[i].as_str();
@@ -95,6 +130,13 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--scale: {e}"))?
             }
             "--output" => args.output = value(&mut i)?,
+            "--output-format" => {
+                args.output_format = match value(&mut i)?.as_str() {
+                    "tsv" => OutputFormat::Tsv,
+                    "model" => OutputFormat::Model,
+                    other => return Err(format!("unknown output format {other:?}\n{}", usage())),
+                }
+            }
             "--dim" => args.dim = value(&mut i)?.parse().map_err(|e| format!("--dim: {e}"))?,
             "--epsilon" => {
                 args.epsilon = value(&mut i)?
@@ -141,6 +183,74 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+fn parse_query_args(argv: &[String]) -> Result<QueryArgs, String> {
+    let mut args = QueryArgs {
+        model: PathBuf::new(),
+        node: None,
+        k: 10,
+        link: None,
+        ivf_nlist: None,
+        nprobe: None,
+        check_recall: None,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag {
+            "--model" => args.model = PathBuf::from(value(&mut i)?),
+            "--node" => {
+                args.node = Some(value(&mut i)?.parse().map_err(|e| format!("--node: {e}"))?)
+            }
+            "--k" => args.k = value(&mut i)?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--link" => {
+                let u: u32 = value(&mut i)?.parse().map_err(|e| format!("--link: {e}"))?;
+                let v: u32 = value(&mut i)?.parse().map_err(|e| format!("--link: {e}"))?;
+                args.link = Some((u, v));
+            }
+            "--ivf-nlist" => {
+                args.ivf_nlist = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--ivf-nlist: {e}"))?,
+                )
+            }
+            "--nprobe" => {
+                args.nprobe = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--nprobe: {e}"))?,
+                )
+            }
+            "--check-recall" => {
+                args.check_recall = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--check-recall: {e}"))?,
+                )
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+        i += 1;
+    }
+    if args.model.as_os_str().is_empty() {
+        return Err(format!("--model is required\n{}", usage()));
+    }
+    if args.node.is_none() == args.link.is_none() {
+        return Err(format!(
+            "exactly one of --node and --link is required\n{}",
+            usage()
+        ));
+    }
+    Ok(args)
+}
+
 /// The graph to train on plus each dense id's original label.
 fn provision(args: &Args) -> Result<(Graph, Vec<u64>, String), String> {
     let opts = ReadOptions {
@@ -178,23 +288,30 @@ fn provision(args: &Args) -> Result<(Graph, Vec<u64>, String), String> {
     }
 }
 
-#[allow(clippy::needless_range_loop)]
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
+fn write_tsv(
+    args: &Args,
+    g: &Graph,
+    original: &[u64],
+    emb: &sp_linalg::DenseMatrix,
+) -> Result<(), String> {
+    let out = std::fs::File::create(&args.output)
+        .map_err(|e| format!("cannot create {}: {e}", args.output))?;
+    let mut w = std::io::BufWriter::new(out);
+    for (v, id) in original.iter().enumerate().take(g.num_nodes()) {
+        let mut line = id.to_string();
+        for x in emb.row(v) {
+            line.push('\t');
+            line.push_str(&format!("{x:.6}"));
         }
-    };
+        writeln!(w, "{line}").map_err(|e| format!("write error on {}: {e}", args.output))?;
+    }
+    w.flush()
+        .map_err(|e| format!("flush error on {}: {e}", args.output))
+}
 
-    let (g, original, source) = match provision(&args) {
-        Ok(x) => x,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
+fn run_train(argv: &[String]) -> Result<(), String> {
+    let args = parse_args(argv)?;
+    let (g, original, source) = provision(&args)?;
     eprintln!(
         "loaded {source}: {} nodes, {} edges",
         g.num_nodes(),
@@ -220,35 +337,121 @@ fn main() -> ExitCode {
         result.report.stopped_by_budget
     );
 
-    let emb = result.embeddings();
-    let out = match std::fs::File::create(&args.output) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("cannot create {}: {e}", args.output);
-            return ExitCode::FAILURE;
+    match args.output_format {
+        OutputFormat::Tsv => {
+            write_tsv(&args, &g, &original, result.embeddings())?;
+            eprintln!(
+                "wrote {} embeddings of dimension {} to {}",
+                g.num_nodes(),
+                args.dim,
+                args.output
+            );
+        }
+        OutputFormat::Model => {
+            let provenance = if args.non_private {
+                Provenance::non_private(args.seed)
+            } else {
+                Provenance {
+                    seed: args.seed,
+                    epsilon: result.report.epsilon_spent,
+                    delta: result.report.delta_spent,
+                }
+            };
+            let file = ModelFile::from_skipgram(&result.model, provenance);
+            file.write_atomic(std::path::Path::new(&args.output))
+                .map_err(|e| format!("cannot write {}: {e}", args.output))?;
+            eprintln!(
+                "published {} node vectors of dimension {} to {} (.spm, seed {}, ε {:.4})",
+                g.num_nodes(),
+                args.dim,
+                args.output,
+                provenance.seed,
+                provenance.epsilon
+            );
+        }
+    }
+    Ok(())
+}
+
+fn run_query(argv: &[String]) -> Result<(), String> {
+    let args = parse_query_args(argv)?;
+    let store = EmbeddingStore::open(&args.model)
+        .map_err(|e| format!("cannot load {}: {e}", args.model.display()))?;
+    let p = store.provenance();
+    eprintln!(
+        "serving {}: {} nodes, dim {}, seed {}, ε {:.4}, δ {:.2e}",
+        args.model.display(),
+        store.num_nodes(),
+        store.dim(),
+        p.seed,
+        p.epsilon,
+        p.delta
+    );
+
+    let check_node = |node: u32| -> Result<(), String> {
+        if (node as usize) < store.num_nodes() {
+            Ok(())
+        } else {
+            Err(format!(
+                "node {node} out of range (model has {} nodes)",
+                store.num_nodes()
+            ))
         }
     };
-    let mut w = std::io::BufWriter::new(out);
-    for v in 0..g.num_nodes() {
-        let mut line = original[v].to_string();
-        for x in emb.row(v) {
-            line.push('\t');
-            line.push_str(&format!("{x:.6}"));
+
+    if let Some((u, v)) = args.link {
+        check_node(u)?;
+        check_node(v)?;
+        println!("{u}\t{v}\t{:.6}", store.link_score(u, v));
+        return Ok(());
+    }
+
+    let node = args.node.expect("node xor link enforced by the parser");
+    check_node(node)?;
+    let answer = match args.ivf_nlist {
+        None => store.exact_top_k_node(node, args.k),
+        Some(nlist) => {
+            let cfg = IvfConfig {
+                nlist,
+                nprobe: args.nprobe.unwrap_or_else(|| nlist.div_ceil(4)),
+                ..IvfConfig::default()
+            };
+            let index = IvfIndex::build(&store, cfg, None);
+            let answer = index.top_k_node(&store, node, args.k, cfg.nprobe);
+            if let Some(min_recall) = args.check_recall {
+                let exact = store.exact_top_k_node(node, args.k);
+                let recall = recall_at_k(&answer, &exact);
+                eprintln!(
+                    "recall@{} vs exact oracle: {recall:.4} (threshold {min_recall})",
+                    args.k
+                );
+                if recall < min_recall {
+                    return Err(format!(
+                        "ANN recall@{} {recall:.4} below required {min_recall}",
+                        args.k
+                    ));
+                }
+            }
+            answer
         }
-        if writeln!(w, "{line}").is_err() {
-            eprintln!("write error on {}", args.output);
-            return ExitCode::FAILURE;
+    };
+    for (rank, n) in answer.iter().enumerate() {
+        println!("{}\t{}\t{:.6}", rank + 1, n.node, n.score);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = match argv.first().map(String::as_str) {
+        Some("query") => run_query(&argv[1..]),
+        _ => run_train(&argv),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
         }
     }
-    if w.flush().is_err() {
-        eprintln!("flush error on {}", args.output);
-        return ExitCode::FAILURE;
-    }
-    eprintln!(
-        "wrote {} embeddings of dimension {} to {}",
-        g.num_nodes(),
-        args.dim,
-        args.output
-    );
-    ExitCode::SUCCESS
 }

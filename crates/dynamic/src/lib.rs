@@ -22,14 +22,24 @@
 //!    is post-processing and costs nothing — but it means each
 //!    snapshot only needs to learn the *delta*, so the per-snapshot
 //!    budget goes further and noise does not restart from scratch.
+//!
+//! The publication side composes with the serving stack: each
+//! snapshot's model is written **atomically** in the [`sp_model`]
+//! binary format and swapped into a live [`sp_serve::ServingStore`]
+//! ([`DynamicEmbedder::fit_and_serve`]), so queries running while the
+//! graph evolves always observe one complete published version —
+//! old or new, never a torn mix.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use se_privgemb::ProximityKind;
 use sp_graph::Graph;
+use sp_model::{ModelError, ModelFile, Provenance};
 use sp_proximity::EdgeProximity;
+use sp_serve::{IvfConfig, ServingStore};
 use sp_skipgram::{SkipGramModel, TrainConfig, TrainReport, Trainer};
+use std::path::Path;
 
 /// How the total privacy budget is divided across snapshots.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -113,6 +123,24 @@ pub struct SnapshotResult {
     /// ℓ2 drift of `W_in` from the previous published version
     /// (`0.0` for the first snapshot).
     pub drift: f64,
+    /// The seed this snapshot trained under (base seed + snapshot
+    /// index), recorded so publication carries full provenance.
+    pub seed: u64,
+}
+
+impl SnapshotResult {
+    /// The snapshot's publishable artefact in the binary model format,
+    /// carrying the run's provenance (seed, ε and δ actually spent).
+    pub fn model_file(&self) -> ModelFile {
+        ModelFile::from_skipgram(
+            &self.model,
+            Provenance {
+                seed: self.seed,
+                epsilon: self.report.epsilon_spent,
+                delta: self.report.delta_spent,
+            },
+        )
+    }
 }
 
 /// Continual embedder over a sequence of graph snapshots.
@@ -142,6 +170,42 @@ impl DynamicEmbedder {
     /// satisfies `(Σ ε_t, Σ δ_t) = (total_epsilon, total_delta)`
     /// node-level DP.
     pub fn fit(&self, snapshots: &[Graph]) -> Vec<SnapshotResult> {
+        self.fit_each(snapshots, |_| Ok(()))
+            .expect("infallible publish hook")
+    }
+
+    /// [`DynamicEmbedder::fit`] plus live publication: after each
+    /// snapshot trains, its model is written **atomically** to
+    /// `model_path` in the `.spm` format (temp file + rename — a
+    /// crash or concurrent reader sees a complete old or new file)
+    /// and swapped into `serving`, optionally rebuilding an IVF index
+    /// first (outside the swap lock, so queries keep flowing against
+    /// the previous generation during the build).
+    ///
+    /// On error the snapshots already published remain served; the
+    /// returned error says which write failed.
+    pub fn fit_and_serve(
+        &self,
+        snapshots: &[Graph],
+        model_path: &Path,
+        serving: &ServingStore,
+        ivf: Option<IvfConfig>,
+    ) -> Result<Vec<SnapshotResult>, ModelError> {
+        self.fit_each(snapshots, |result| {
+            result.model_file().write_atomic(model_path)?;
+            serving.reload_from(model_path, ivf, self.config.base.threads)?;
+            Ok(())
+        })
+    }
+
+    /// The per-snapshot training loop shared by [`DynamicEmbedder::fit`]
+    /// and [`DynamicEmbedder::fit_and_serve`]; `publish` runs after
+    /// every snapshot with its finished result.
+    fn fit_each(
+        &self,
+        snapshots: &[Graph],
+        mut publish: impl FnMut(&SnapshotResult) -> Result<(), ModelError>,
+    ) -> Result<Vec<SnapshotResult>, ModelError> {
         assert!(!snapshots.is_empty(), "need at least one snapshot");
         let n = snapshots[0].num_nodes();
         for (t, g) in snapshots.iter().enumerate() {
@@ -164,6 +228,7 @@ impl DynamicEmbedder {
             cfg.epsilon = eps_shares[t];
             cfg.delta = delta_share;
             cfg.seed = self.config.base.seed.wrapping_add(t as u64);
+            let snapshot_seed = cfg.seed;
             // Honour the configured thread knob for the per-snapshot
             // proximity build too (publishers often run inside their
             // own pool with base.threads pinned to 1).
@@ -183,14 +248,17 @@ impl DynamicEmbedder {
                 })
                 .unwrap_or(0.0);
             previous = Some(model.clone());
-            results.push(SnapshotResult {
+            let result = SnapshotResult {
                 model,
                 report,
                 epsilon_allocated: eps_shares[t],
                 drift,
-            });
+                seed: snapshot_seed,
+            };
+            publish(&result)?;
+            results.push(result);
         }
-        results
+        Ok(results)
     }
 
     /// The configuration.
@@ -406,5 +474,202 @@ mod tests {
     #[should_panic(expected = "rho must be in")]
     fn bad_rho_rejected() {
         BudgetAllocation::GeometricDecay { rho: 1.5 }.split(1.0, 3);
+    }
+
+    // --- republish path: snapshot → write model → atomic swap ----------
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sp_dynamic_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn fit_and_serve_publishes_every_snapshot_generation() {
+        let snaps = snapshots();
+        let dir = temp_dir("serve");
+        let path = dir.join("model.spm");
+        let embedder = DynamicEmbedder::new(DynamicConfig {
+            base: base_cfg(),
+            ..DynamicConfig::default()
+        });
+        // Start serving a placeholder generation (version 1).
+        let mut rng = StdRng::seed_from_u64(99);
+        let placeholder = SkipGramModel::new(100, 16, &mut rng);
+        let serving = ServingStore::new(
+            sp_serve::EmbeddingStore::from_skipgram(&placeholder, Provenance::non_private(99)),
+            None,
+        );
+        let results = embedder
+            .fit_and_serve(&snaps, &path, &serving, None)
+            .unwrap();
+        // One swap per snapshot, on top of the initial generation.
+        assert_eq!(serving.version(), 1 + snaps.len() as u64);
+        // The file on disk is the last snapshot, bit-for-bit (at
+        // publication precision), with full provenance.
+        let published = ModelFile::read(&path).unwrap();
+        let last = results.last().unwrap();
+        assert_eq!(published, last.model_file());
+        assert_eq!(published.provenance.seed, last.seed);
+        assert!(published.provenance.epsilon > 0.0);
+        // The served generation answers from the same payload.
+        let snapshot = serving.snapshot();
+        assert_eq!(snapshot.store.num_nodes(), 100);
+        assert_eq!(
+            snapshot.store.embedding(0),
+            published.payload.vectors().row(0)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fit_and_serve_surfaces_write_errors_typed() {
+        let snaps = snapshots();
+        let embedder = DynamicEmbedder::new(DynamicConfig {
+            base: base_cfg(),
+            ..DynamicConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        let placeholder = SkipGramModel::new(100, 16, &mut rng);
+        let serving = ServingStore::new(
+            sp_serve::EmbeddingStore::from_skipgram(&placeholder, Provenance::non_private(1)),
+            None,
+        );
+        let err = embedder
+            .fit_and_serve(
+                &snaps,
+                Path::new("/nonexistent-dir/model.spm"),
+                &serving,
+                None,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ModelError::Io(_)));
+        // The serving store still holds the last good generation.
+        assert_eq!(serving.version(), 1);
+    }
+
+    #[test]
+    fn snapshot_seeds_are_recorded_per_version() {
+        let snaps = snapshots();
+        let base = base_cfg();
+        let base_seed = base.seed;
+        let results = DynamicEmbedder::new(DynamicConfig {
+            base,
+            ..DynamicConfig::default()
+        })
+        .fit(&snaps);
+        for (t, r) in results.iter().enumerate() {
+            assert_eq!(r.seed, base_seed.wrapping_add(t as u64));
+            assert_eq!(r.model_file().provenance.seed, r.seed);
+        }
+    }
+
+    #[test]
+    fn concurrent_queries_see_old_or_new_model_never_torn() {
+        // The torn-read detector: version v's model has EVERY entry
+        // equal to v as f32, so any mix of two versions inside one
+        // answer is immediately visible. A publisher thread republishes
+        // through the real path (atomic .spm write + reload_from) while
+        // reader threads hammer snapshot queries.
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let dir = temp_dir("torn");
+        let path = dir.join("model.spm");
+        let n = 50usize;
+        let dim = 8usize;
+        let constant_model = |v: f64| {
+            let m = sp_linalg::DenseMatrix::from_vec(n, dim, vec![v; n * dim]);
+            sp_serve::EmbeddingStore::from_dense(&m, Provenance::non_private(v as u64))
+        };
+        let serving = ServingStore::new(constant_model(1.0), None);
+        let done = AtomicBool::new(false);
+        let versions = 40u64;
+
+        std::thread::scope(|scope| {
+            let serving = &serving;
+            let done = &done;
+            let path = &path;
+            let publisher = scope.spawn(move || {
+                for v in 2..=versions {
+                    let m = sp_linalg::DenseMatrix::from_vec(n, dim, vec![v as f64; n * dim]);
+                    ModelFile::from_dense(&m, Provenance::non_private(v))
+                        .write_atomic(path)
+                        .unwrap();
+                    serving.reload_from(path, None, Some(1)).unwrap();
+                }
+                done.store(true, Ordering::Release);
+            });
+            let mut readers = Vec::new();
+            for _ in 0..3 {
+                readers.push(scope.spawn(move || {
+                    let mut observed = 0u64;
+                    while !done.load(Ordering::Acquire) {
+                        let generation = serving.snapshot();
+                        // Every value of the snapshot must agree on one
+                        // version — a torn read would mix constants.
+                        let first = generation.store.embedding(0)[0];
+                        for node in 0..n as u32 {
+                            for &x in generation.store.embedding(node) {
+                                assert_eq!(
+                                    x.to_bits(),
+                                    first.to_bits(),
+                                    "torn read: {x} and {first} in one snapshot"
+                                );
+                            }
+                        }
+                        // Provenance travels with the payload.
+                        assert_eq!(
+                            generation.store.provenance().seed,
+                            first as u64,
+                            "provenance does not match payload version"
+                        );
+                        observed += 1;
+                    }
+                    observed
+                }));
+            }
+            publisher.join().unwrap();
+            let total: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+            assert!(total > 0, "readers never observed a snapshot");
+        });
+        // After the dust settles the newest version is served.
+        assert_eq!(serving.version(), versions);
+        assert_eq!(serving.snapshot().store.embedding(0)[0], versions as f32);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn republished_file_is_always_complete_on_disk() {
+        // Interleave atomic writes with reads of the same path: every
+        // read must parse as a complete, checksum-valid model (the
+        // temp-file + rename protocol never exposes a prefix).
+        let dir = temp_dir("complete");
+        let path = dir.join("model.spm");
+        let make = |v: u64| {
+            let m = sp_linalg::DenseMatrix::from_vec(20, 4, vec![v as f64; 80]);
+            ModelFile::from_dense(&m, Provenance::non_private(v))
+        };
+        make(1).write_atomic(&path).unwrap();
+        std::thread::scope(|scope| {
+            let path = &path;
+            let writer = scope.spawn(move || {
+                for v in 2..=60 {
+                    make(v).write_atomic(path).unwrap();
+                }
+            });
+            let reader = scope.spawn(move || {
+                let mut seen = 0u64;
+                for _ in 0..200 {
+                    let f = ModelFile::read(path).expect("mid-republish read must be complete");
+                    let value = f.payload.vectors().row(0)[0];
+                    assert_eq!(f.provenance.seed, value as u64);
+                    seen = seen.max(value as u64);
+                }
+                seen
+            });
+            writer.join().unwrap();
+            assert!(reader.join().unwrap() >= 1);
+        });
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,127 @@
+//! Property tests for the `.spm` serialisation round trip.
+//!
+//! The format stores `f32` payloads as raw bit patterns, so the round
+//! trip must be the identity on **bits**, not merely on values: NaNs
+//! (any payload), signalling-bit patterns, subnormals, ±0, and the
+//! infinities all come back exactly. Arbitrary shapes, seeds, and
+//! (ε, δ) provenance ride along. These properties are what the serving
+//! layer's bit-for-bit query parity rests on.
+
+use proptest::prelude::*;
+use sp_model::{F32Matrix, ModelError, ModelFile, ModelPayload, Provenance};
+
+/// Full-range `f32` bit patterns: every draw is some valid `f32`,
+/// including NaN payloads, subnormals, ±0 and ±∞. Special values are
+/// over-sampled so small cases still exercise them.
+fn f32_bits() -> impl Strategy<Value = u32> {
+    (0u64..(1u64 << 32), 0u32..8).prop_map(|(bits, special)| match special {
+        0 => 0x7FC0_0001, // quiet NaN with payload
+        1 => 0xFFC0_0000, // negative NaN
+        2 => 0x8000_0000, // -0.0
+        3 => 0x0000_0001, // smallest positive subnormal
+        4 => 0x7F80_0000, // +inf
+        _ => bits as u32,
+    })
+}
+
+/// Matrices with arbitrary shape and full-bit-range content. The stub
+/// proptest has no `prop_flat_map`, so the payload is drawn at maximal
+/// size and each case truncates it to its own shape.
+fn matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = F32Matrix> {
+    let payload =
+        proptest::collection::vec(f32_bits(), max_rows * max_cols..max_rows * max_cols + 1);
+    (1..max_rows + 1, 1..max_cols + 1, payload).prop_map(|(r, c, bits)| {
+        F32Matrix::from_vec(
+            r,
+            c,
+            bits[..r * c].iter().map(|&b| f32::from_bits(b)).collect(),
+        )
+    })
+}
+
+fn provenance() -> impl Strategy<Value = Provenance> {
+    (0u64..u64::MAX, 0.01f64..100.0, 0.0f64..0.1).prop_map(|(seed, epsilon, delta)| Provenance {
+        seed,
+        epsilon,
+        delta,
+    })
+}
+
+fn bits_of(m: &F32Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #[test]
+    fn dense_payload_roundtrips_bit_identically(
+        m in matrix(24, 10),
+        p in provenance(),
+    ) {
+        let file = ModelFile::dense(m, p);
+        let back = ModelFile::from_bytes(&file.to_bytes()).unwrap();
+        let (a, b) = (file.payload.vectors(), back.payload.vectors());
+        prop_assert_eq!(a.rows(), b.rows());
+        prop_assert_eq!(a.cols(), b.cols());
+        // Bitwise, not value-wise: NaN != NaN under ==, so compare bits.
+        prop_assert_eq!(bits_of(a), bits_of(b));
+        prop_assert_eq!(back.provenance.seed, p.seed);
+        prop_assert_eq!(back.provenance.epsilon.to_bits(), p.epsilon.to_bits());
+        prop_assert_eq!(back.provenance.delta.to_bits(), p.delta.to_bits());
+    }
+
+    #[test]
+    fn skipgram_payload_roundtrips_bit_identically(
+        w_in in matrix(16, 8),
+        p in provenance(),
+    ) {
+        // Context block with the same shape but independent content:
+        // shift every bit pattern so the two blocks cannot be confused.
+        let w_out = F32Matrix::from_vec(
+            w_in.rows(),
+            w_in.cols(),
+            w_in.as_slice()
+                .iter()
+                .map(|v| f32::from_bits(v.to_bits().rotate_left(7)))
+                .collect(),
+        );
+        let file = ModelFile {
+            payload: ModelPayload::SkipGram {
+                w_in: w_in.clone(),
+                w_out: w_out.clone(),
+            },
+            provenance: p,
+        };
+        let back = ModelFile::from_bytes(&file.to_bytes()).unwrap();
+        prop_assert_eq!(bits_of(back.payload.vectors()), bits_of(&w_in));
+        let ctx = back.payload.context().expect("skip-gram keeps its context block");
+        prop_assert_eq!(bits_of(ctx), bits_of(&w_out));
+    }
+
+    #[test]
+    fn serialisation_is_deterministic(m in matrix(12, 6), p in provenance()) {
+        let file = ModelFile::dense(m, p);
+        prop_assert_eq!(file.to_bytes(), file.to_bytes());
+    }
+
+    #[test]
+    fn any_single_payload_bit_flip_is_caught(
+        m in matrix(8, 6),
+        p in provenance(),
+        flip_byte in 0usize..10_000,
+        flip_bit in 0u32..8,
+    ) {
+        let mut bytes = ModelFile::dense(m, p).to_bytes();
+        let len = bytes.len();
+        // Flip one bit anywhere in payload or trailer (past the header):
+        // the CRC must refuse it. Header flips are covered separately in
+        // the failure-injection suite (they surface as other typed errors).
+        let i = 64 + flip_byte % (len - 64);
+        bytes[i] ^= 1 << flip_bit;
+        match ModelFile::from_bytes(&bytes) {
+            Err(ModelError::ChecksumMismatch { declared, actual }) => {
+                prop_assert_ne!(declared, actual);
+            }
+            other => prop_assert!(false, "bit flip at {} accepted: {:?}", i, other.is_ok()),
+        }
+    }
+}

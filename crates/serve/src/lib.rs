@@ -1,0 +1,48 @@
+//! # sp-serve
+//!
+//! The inference-side counterpart of the DP training pipeline: *train
+//! once, serve millions of queries*. A model published in the
+//! [`sp_model`] format is pure post-processing under the paper's
+//! guarantee (Theorem 2), so everything in this crate — loading,
+//! indexing, and answering top-k nearest-neighbour or link-score
+//! queries — happens at **zero marginal privacy cost**.
+//!
+//! Three layers:
+//!
+//! - [`store::EmbeddingStore`]: the published f32 matrices in memory
+//!   (bulk-read from an `.spm` file, or built from a just-trained model
+//!   through the *same* f32 rounding the writer applies, so in-memory
+//!   and loaded-from-disk stores answer queries bit-identically), plus
+//!   the **brute-force exact top-k oracle** every approximate answer is
+//!   verified against in the test suites;
+//! - [`ivf::IvfIndex`]: an IVF-style coarse quantizer — seeded k-means
+//!   centroids built deterministically with [`sp_parallel::par_map`],
+//!   per-list **exact** rerank at query time — trading a tunable probe
+//!   count for sublinear scans;
+//! - [`swap::ServingStore`]: the atomic-republish seam for the dynamic
+//!   pipeline. Queries run against an [`std::sync::Arc`] snapshot of
+//!   one *generation* (store + index + version); a republish swaps the
+//!   generation pointer, so in-flight queries see the old or the new
+//!   model in full, never a torn mix.
+//!
+//! ## Determinism contract
+//!
+//! Index construction inherits the workspace-wide guarantee: for a
+//! fixed seed the centroids, inverted lists, and therefore every query
+//! answer are **bit-identical for any thread count**. Query execution
+//! itself is serial per query (concurrency is across queries), and all
+//! ranking uses a total order — score descending by [`f32::total_cmp`],
+//! node id ascending on ties — so result sets are reproducible
+//! everywhere, including across the `SP_THREADS` CI matrix.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ivf;
+pub mod store;
+pub mod swap;
+pub mod synthetic;
+
+pub use ivf::{IvfConfig, IvfIndex};
+pub use store::{recall_at_k, EmbeddingStore, Neighbor};
+pub use swap::{Generation, ServingStore};

@@ -1,0 +1,370 @@
+//! The in-memory embedding store and the exact query oracle.
+
+use sp_linalg::DenseMatrix;
+use sp_model::{F32Matrix, ModelError, ModelFile, ModelPayload, Provenance};
+use sp_skipgram::SkipGramModel;
+use std::cmp::Ordering;
+use std::path::Path;
+
+/// One ranked answer: a node and its (inner-product) score.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Dense node id (row index of the published matrix).
+    pub node: u32,
+    /// Inner-product score against the query vector.
+    pub score: f32,
+}
+
+impl Neighbor {
+    /// The total ranking order: score descending ([`f32::total_cmp`],
+    /// so NaN scores sort deterministically too), node id ascending on
+    /// ties. Every ranked result in this crate uses this order.
+    pub fn rank_cmp(&self, other: &Neighbor) -> Ordering {
+        other
+            .score
+            .total_cmp(&self.score)
+            .then_with(|| self.node.cmp(&other.node))
+    }
+}
+
+/// Bounded accumulator keeping the best `k` neighbours under
+/// [`Neighbor::rank_cmp`]. Insertion keeps the buffer sorted, so the
+/// scan order of candidates never changes the result — only the set of
+/// candidates does.
+#[derive(Clone, Debug)]
+pub(crate) struct TopK {
+    k: usize,
+    items: Vec<Neighbor>,
+}
+
+impl TopK {
+    pub(crate) fn new(k: usize) -> Self {
+        Self {
+            k,
+            items: Vec::with_capacity(k + 1),
+        }
+    }
+
+    pub(crate) fn push(&mut self, cand: Neighbor) {
+        if self.k == 0 {
+            return;
+        }
+        if self.items.len() == self.k {
+            // Full: reject anything not better than the current worst.
+            if cand.rank_cmp(self.items.last().expect("non-empty")) != Ordering::Less {
+                return;
+            }
+            self.items.pop();
+        }
+        let at = self
+            .items
+            .partition_point(|n| n.rank_cmp(&cand) == Ordering::Less);
+        self.items.insert(at, cand);
+    }
+
+    pub(crate) fn into_sorted(self) -> Vec<Neighbor> {
+        self.items
+    }
+}
+
+/// Numerically plain f32 logistic; the serve path never touches f64.
+#[inline]
+pub(crate) fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// f32 dot product with a fixed left-to-right accumulation order (part
+/// of the bit-for-bit query reproducibility contract).
+#[inline]
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut s = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        s += x * y;
+    }
+    s
+}
+
+/// The published embedding matrices, resident in memory, plus their
+/// provenance. This is the object a serving process holds per model
+/// generation.
+#[derive(Clone, Debug)]
+pub struct EmbeddingStore {
+    vectors: F32Matrix,
+    context: Option<F32Matrix>,
+    provenance: Provenance,
+}
+
+impl EmbeddingStore {
+    /// Wraps a parsed model file.
+    pub fn from_model_file(file: ModelFile) -> Self {
+        let provenance = file.provenance;
+        let (vectors, context) = match file.payload {
+            ModelPayload::Dense(m) => (m, None),
+            ModelPayload::SkipGram { w_in, w_out } => (w_in, Some(w_out)),
+        };
+        Self {
+            vectors,
+            context,
+            provenance,
+        }
+    }
+
+    /// Bulk-reads a published `.spm` file. (The format is mmap-ready —
+    /// 64-byte-aligned payload — but the workspace forbids `unsafe`,
+    /// so the std-only reader copies once instead of mapping.)
+    pub fn open(path: &Path) -> Result<Self, ModelError> {
+        Ok(Self::from_model_file(ModelFile::read(path)?))
+    }
+
+    /// Builds a store from a just-trained model **through the same f32
+    /// rounding the on-disk writer applies**, which is what makes
+    /// `train → save → load → query` bit-identical to
+    /// `train → query` (pinned by `tests/serve_roundtrip.rs`).
+    pub fn from_skipgram(model: &SkipGramModel, provenance: Provenance) -> Self {
+        Self::from_model_file(ModelFile::from_skipgram(model, provenance))
+    }
+
+    /// Builds a vectors-only store from an `f64` embedding matrix (same
+    /// rounding guarantee as [`EmbeddingStore::from_skipgram`]).
+    pub fn from_dense(m: &DenseMatrix, provenance: Provenance) -> Self {
+        Self::from_model_file(ModelFile::from_dense(m, provenance))
+    }
+
+    /// Builds a vectors-only store directly from f32 rows.
+    pub fn from_f32(m: F32Matrix, provenance: Provenance) -> Self {
+        Self {
+            vectors: m,
+            context: None,
+            provenance,
+        }
+    }
+
+    /// Number of served nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.vectors.rows()
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.vectors.cols()
+    }
+
+    /// Provenance recorded at publication.
+    pub fn provenance(&self) -> Provenance {
+        self.provenance
+    }
+
+    /// The published vector of one node.
+    #[inline]
+    pub fn embedding(&self, node: u32) -> &[f32] {
+        self.vectors.row(node as usize)
+    }
+
+    /// The full published matrix.
+    pub fn vectors(&self) -> &F32Matrix {
+        &self.vectors
+    }
+
+    /// Whether the store carries the context (`W_out`) matrix.
+    pub fn has_context(&self) -> bool {
+        self.context.is_some()
+    }
+
+    /// Inner-product score of `node` against an arbitrary query vector.
+    ///
+    /// # Panics
+    /// Panics if `query.len() != self.dim()`.
+    #[inline]
+    pub fn score(&self, query: &[f32], node: u32) -> f32 {
+        assert_eq!(query.len(), self.dim(), "query dimension mismatch");
+        dot(query, self.embedding(node))
+    }
+
+    /// Link-probability score `σ(W_in[u] · W_out[v])` — the model's
+    /// edge likelihood (Eq. 5's positive term). Falls back to the
+    /// symmetric `σ(W_in[u] · W_in[v])` when the published file carried
+    /// only the node vectors.
+    pub fn link_score(&self, u: u32, v: u32) -> f32 {
+        let ctx_row = match &self.context {
+            Some(ctx) => ctx.row(v as usize),
+            None => self.vectors.row(v as usize),
+        };
+        sigmoid(dot(self.embedding(u), ctx_row))
+    }
+
+    /// **The exact oracle**: brute-force top-k by inner product over
+    /// every node. Every approximate answer in the test suites is
+    /// checked against this.
+    ///
+    /// # Panics
+    /// Panics if `query.len() != self.dim()`.
+    pub fn exact_top_k(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim(), "query dimension mismatch");
+        let mut top = TopK::new(k);
+        for node in 0..self.num_nodes() as u32 {
+            top.push(Neighbor {
+                node,
+                score: dot(query, self.vectors.row(node as usize)),
+            });
+        }
+        top.into_sorted()
+    }
+
+    /// Exact top-k neighbours of a stored node (the node itself is
+    /// excluded from its own answer).
+    pub fn exact_top_k_node(&self, node: u32, k: usize) -> Vec<Neighbor> {
+        let query = self.embedding(node).to_vec();
+        let mut top = TopK::new(k + 1);
+        for cand in 0..self.num_nodes() as u32 {
+            if cand == node {
+                continue;
+            }
+            top.push(Neighbor {
+                node: cand,
+                score: dot(&query, self.vectors.row(cand as usize)),
+            });
+        }
+        let mut out = top.into_sorted();
+        out.truncate(k);
+        out
+    }
+}
+
+/// Fraction of the oracle's ids the approximate answer recovered —
+/// `|approx ∩ exact| / |exact|` (1.0 when the oracle returns nothing).
+pub fn recall_at_k(approx: &[Neighbor], exact: &[Neighbor]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let hit = exact
+        .iter()
+        .filter(|e| approx.iter().any(|a| a.node == e.node))
+        .count();
+    hit as f64 / exact.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_store() -> EmbeddingStore {
+        // 4 nodes in 2-d with hand-checkable inner products.
+        let m = F32Matrix::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, -1.0, 0.0]);
+        EmbeddingStore::from_f32(m, Provenance::non_private(1))
+    }
+
+    #[test]
+    fn exact_top_k_orders_by_score_then_id() {
+        let s = tiny_store();
+        let got = s.exact_top_k(&[1.0, 0.0], 4);
+        // Scores: n0=1, n1=0, n2=1, n3=-1 -> 0 before 2 on the tie.
+        let ids: Vec<u32> = got.iter().map(|n| n.node).collect();
+        assert_eq!(ids, vec![0, 2, 1, 3]);
+        assert_eq!(got[0].score, 1.0);
+        assert_eq!(got[3].score, -1.0);
+    }
+
+    #[test]
+    fn top_k_truncates_and_k_zero_is_empty() {
+        let s = tiny_store();
+        assert_eq!(s.exact_top_k(&[1.0, 0.0], 2).len(), 2);
+        assert!(s.exact_top_k(&[1.0, 0.0], 0).is_empty());
+        // k beyond n returns everything, still ordered.
+        assert_eq!(s.exact_top_k(&[1.0, 0.0], 99).len(), 4);
+    }
+
+    #[test]
+    fn node_query_excludes_self() {
+        let s = tiny_store();
+        let got = s.exact_top_k_node(2, 4);
+        assert!(got.iter().all(|n| n.node != 2));
+        assert_eq!(got.len(), 3);
+        // Node 2 = (1,1): best other node by inner product is 0 or 1
+        // (both score 1) -> 0 wins the tie.
+        assert_eq!(got[0].node, 0);
+    }
+
+    #[test]
+    fn link_score_uses_context_when_present() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = SkipGramModel::new(5, 4, &mut rng);
+        let s = EmbeddingStore::from_skipgram(&model, Provenance::non_private(3));
+        assert!(s.has_context());
+        let expected = {
+            let a: Vec<f32> = model.w_in.row(1).iter().map(|&v| v as f32).collect();
+            let b: Vec<f32> = model.w_out.row(2).iter().map(|&v| v as f32).collect();
+            sigmoid(dot(&a, &b))
+        };
+        assert_eq!(s.link_score(1, 2).to_bits(), expected.to_bits());
+        // Vectors-only store: symmetric fallback.
+        let sv = EmbeddingStore::from_dense(&model.w_in, Provenance::non_private(3));
+        assert!(!sv.has_context());
+        assert_eq!(sv.link_score(1, 2).to_bits(), sv.link_score(2, 1).to_bits());
+    }
+
+    #[test]
+    fn recall_helper_counts_overlap() {
+        let exact = vec![
+            Neighbor {
+                node: 1,
+                score: 3.0,
+            },
+            Neighbor {
+                node: 2,
+                score: 2.0,
+            },
+            Neighbor {
+                node: 3,
+                score: 1.0,
+            },
+            Neighbor {
+                node: 4,
+                score: 0.5,
+            },
+        ];
+        let approx = vec![
+            Neighbor {
+                node: 2,
+                score: 2.0,
+            },
+            Neighbor {
+                node: 9,
+                score: 1.5,
+            },
+            Neighbor {
+                node: 3,
+                score: 1.0,
+            },
+            Neighbor {
+                node: 8,
+                score: 0.1,
+            },
+        ];
+        assert_eq!(recall_at_k(&approx, &exact), 0.5);
+        assert_eq!(recall_at_k(&approx, &[]), 1.0);
+    }
+
+    #[test]
+    fn nan_scores_rank_deterministically() {
+        let m = F32Matrix::from_vec(3, 1, vec![f32::NAN, 1.0, 2.0]);
+        let s = EmbeddingStore::from_f32(m, Provenance::non_private(0));
+        let a = s.exact_top_k(&[1.0], 3);
+        let b = s.exact_top_k(&[1.0], 3);
+        assert_eq!(
+            a.iter()
+                .map(|n| (n.node, n.score.to_bits()))
+                .collect::<Vec<_>>(),
+            b.iter()
+                .map(|n| (n.node, n.score.to_bits()))
+                .collect::<Vec<_>>(),
+        );
+        // total_cmp puts +NaN above +inf: the NaN row ranks first, and
+        // the real scores keep their relative order after it.
+        assert_eq!(a[0].node, 0);
+        assert_eq!(a[1].node, 2);
+        assert_eq!(a[2].node, 1);
+    }
+}

@@ -14,7 +14,9 @@ pub use sp_dynamic as dynamic;
 pub use sp_eval as eval;
 pub use sp_graph as graph;
 pub use sp_linalg as linalg;
+pub use sp_model as model;
 pub use sp_nn as nn;
 pub use sp_parallel as parallel;
 pub use sp_proximity as proximity;
+pub use sp_serve as serve;
 pub use sp_skipgram as skipgram;

@@ -3,7 +3,9 @@
 //! degrade gracefully — never produce NaN embeddings or hang. The
 //! dataset loaders get the same treatment: corrupt archives and
 //! malformed edge lists must surface as typed [`LoadError`]s, never
-//! panics.
+//! panics — and the `.spm` model readers mirror that discipline with
+//! typed [`ModelError`]s for truncation, header corruption, version
+//! skew, and checksum mismatches.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -12,6 +14,7 @@ use se_privgemb_suite::datasets::generators;
 use se_privgemb_suite::datasets::inflate::{gzip_store, InflateError};
 use se_privgemb_suite::datasets::loaders::{load_edge_list_bytes, LoadError};
 use se_privgemb_suite::graph::io::ReadOptions;
+use se_privgemb_suite::model::{F32Matrix, ModelError, ModelFile, Provenance};
 use sp_graph::Graph;
 
 fn assert_finite(result: &se_privgemb_suite::core::pipeline::EmbeddingResult, label: &str) {
@@ -236,6 +239,116 @@ fn declared_count_lies_are_typed() {
             actual: 2,
         }
     ));
+}
+
+// --- model-reader failure injection ------------------------------------
+
+/// A small published model whose serialised form the tests corrupt.
+fn model_bytes() -> Vec<u8> {
+    let m = F32Matrix::from_vec(6, 4, (0..24).map(|i| i as f32 * 0.5 - 3.0).collect());
+    ModelFile::dense(
+        m,
+        Provenance {
+            seed: 11,
+            epsilon: 2.0,
+            delta: 1e-5,
+        },
+    )
+    .to_bytes()
+}
+
+#[test]
+fn truncation_at_every_cut_is_typed_not_a_panic() {
+    let bytes = model_bytes();
+    for cut in 0..bytes.len() {
+        match ModelFile::from_bytes(&bytes[..cut]) {
+            Err(ModelError::Truncated { expected, found }) => {
+                assert_eq!(found, cut, "cut {cut}: wrong found length reported");
+                assert!(expected > cut, "cut {cut}: expected must exceed found");
+            }
+            other => panic!("cut {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+    // The complete file, for contrast, parses.
+    assert!(ModelFile::from_bytes(&bytes).is_ok());
+}
+
+#[test]
+fn wrong_magic_is_typed() {
+    let mut bytes = model_bytes();
+    bytes[..4].copy_from_slice(b"NOPE");
+    match ModelFile::from_bytes(&bytes) {
+        Err(ModelError::BadMagic { found }) => assert_eq!(&found, b"NOPE"),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn future_version_is_typed() {
+    let mut bytes = model_bytes();
+    // Version lives right after the 4-byte magic (u16 LE).
+    bytes[4] = 99;
+    assert!(matches!(
+        ModelFile::from_bytes(&bytes),
+        Err(ModelError::UnsupportedVersion { found: 99 })
+    ));
+}
+
+#[test]
+fn unknown_payload_kind_is_typed() {
+    let mut bytes = model_bytes();
+    // Kind is the u16 after magic + version.
+    bytes[6] = 7;
+    assert!(matches!(
+        ModelFile::from_bytes(&bytes),
+        Err(ModelError::UnknownKind { found: 7 })
+    ));
+}
+
+#[test]
+fn payload_bit_flip_is_a_checksum_mismatch() {
+    let mut bytes = model_bytes();
+    let mid = 64 + (bytes.len() - 64 - 4) / 2;
+    bytes[mid] ^= 0x01;
+    match ModelFile::from_bytes(&bytes) {
+        Err(ModelError::ChecksumMismatch { declared, actual }) => {
+            assert_ne!(declared, actual);
+        }
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn header_shape_lie_is_typed() {
+    // Inflating the declared row count makes the header inconsistent
+    // with the actual payload length: a structural Corrupt error (the
+    // size check), not an attempted over-read.
+    let mut bytes = model_bytes();
+    bytes[8] = 0xFF; // rows field (u64 LE at offset 8)
+    assert!(matches!(
+        ModelFile::from_bytes(&bytes),
+        Err(ModelError::Corrupt { .. })
+    ));
+}
+
+#[test]
+fn provenance_tampering_is_a_checksum_mismatch() {
+    // The header is under the CRC too: silently rewriting the recorded
+    // privacy budget is detected even though the payload is untouched.
+    let mut bytes = model_bytes();
+    bytes[24] ^= 0x01; // seed field
+    assert!(matches!(
+        ModelFile::from_bytes(&bytes),
+        Err(ModelError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn model_read_from_missing_path_is_io_typed() {
+    let err = ModelFile::read(std::path::Path::new("/nonexistent/m.spm")).unwrap_err();
+    assert!(matches!(err, ModelError::Io(_)));
+    // And every ModelError formats a human-readable message.
+    assert!(!err.to_string().is_empty());
 }
 
 #[test]

@@ -22,6 +22,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use se_privgemb::{PerturbStrategy, ProximityKind, SePrivGEmb};
+use se_privgemb_suite::model::Provenance;
+use se_privgemb_suite::serve::{self, EmbeddingStore, IvfConfig, IvfIndex};
 use sp_datasets::generators;
 use sp_graph::Graph;
 use sp_linalg::CsrMatrix;
@@ -296,6 +298,75 @@ fn accountant_charges_identical_steps_for_any_thread_count() {
     assert_eq!(
         one.report.delta_spent.to_bits(),
         four.report.delta_spent.to_bits()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Walk corpus
+
+// ---------------------------------------------------------------------------
+// IVF serving index
+
+/// BlogCatalog-scale seeded store (10,312 nodes, dim 16): the corpus
+/// size the serving acceptance gate is specified against.
+fn blogcatalog_scale_store() -> EmbeddingStore {
+    EmbeddingStore::from_f32(
+        serve::synthetic::clustered_embedding(10_312, 16, 40, 0xB10C),
+        Provenance::non_private(0xB10C),
+    )
+}
+
+#[test]
+fn ivf_recall_at_10_meets_floor_on_blogcatalog_scale() {
+    // Recall regression gate: the coarse-quantised index probing a
+    // quarter of its lists must keep recall@10 >= 0.95 against the
+    // brute-force oracle. A quantiser or rerank regression shows up
+    // here before it shows up in production metrics.
+    let store = blogcatalog_scale_store();
+    let cfg = IvfConfig {
+        nlist: 64,
+        nprobe: 16,
+        ..IvfConfig::default()
+    };
+    let index = IvfIndex::build(&store, cfg, Some(4));
+    let queries: Vec<u32> = (0..200).map(|i| (i * 51) % 10_312).collect();
+    let mut recall = 0.0;
+    for &q in &queries {
+        let approx = index.top_k_node(&store, q, 10, cfg.nprobe);
+        let exact = store.exact_top_k_node(q, 10);
+        recall += serve::recall_at_k(&approx, &exact);
+    }
+    recall /= queries.len() as f64;
+    assert!(
+        recall >= 0.95,
+        "recall@10 regression: {recall:.4} < 0.95 (nlist=64, nprobe=16)"
+    );
+}
+
+#[test]
+fn ivf_index_bit_identical_for_1_and_4_threads() {
+    // The index build uses par_map for assignment; like every other
+    // hot path in the workspace, thread count must never change the
+    // result. Identical centroids, identical lists, identical answers.
+    let store = blogcatalog_scale_store();
+    let cfg = IvfConfig {
+        nlist: 32,
+        nprobe: 8,
+        ..IvfConfig::default()
+    };
+    let one = IvfIndex::build(&store, cfg, Some(1));
+    let four = IvfIndex::build(&store, cfg, Some(4));
+    for q in (0..10_312u32).step_by(97) {
+        assert_eq!(
+            one.top_k_node(&store, q, 10, cfg.nprobe),
+            four.top_k_node(&store, q, 10, cfg.nprobe),
+            "IVF answers for node {q} differ across build thread counts"
+        );
+    }
+    assert_eq!(
+        one.list_sizes(),
+        four.list_sizes(),
+        "inverted-list partition differs across thread counts"
     );
 }
 
