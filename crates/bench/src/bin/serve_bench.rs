@@ -13,9 +13,13 @@
 //! is comparable across runs).
 
 use sp_model::Provenance;
-use sp_serve::{synthetic, EmbeddingStore, IvfConfig, IvfIndex, Neighbor};
+use sp_serve::{
+    synthetic, EmbeddingStore, IvfConfig, IvfIndex, Neighbor, ServeClient, Server, ServerConfig,
+    ServingStore,
+};
 use std::io::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// BlogCatalog's published node count: the smallest "real" scale the
@@ -96,9 +100,19 @@ fn main() {
          exact: {exact_qps:.0} queries/sec"
     );
 
+    // TCP closed loop: the same IVF answers through the sp_served
+    // network boundary (SPSERVE 1), measured end to end per request.
+    let tcp_rounds = if full { 20 } else { 5 };
+    let tcp = tcp_closed_loop(store, index, load_threads, tcp_rounds, &query_nodes);
+    println!(
+        "TCP: {:.0} queries/sec ({} queries, {load_threads} connections), \
+         p50 {} µs, p99 {} µs",
+        tcp.qps, tcp.queries, tcp.p50_us, tcp.p99_us
+    );
+
     let json = format!(
         r#"{{
-  "description": "sp_serve IVF serving benchmark: closed-loop top-{K} queries over a seeded clustered embedding (PR 6). Regenerate with `cargo run --release -p sp_bench --bin sp_serve_bench`.",
+  "description": "sp_serve IVF serving benchmark: closed-loop top-{K} queries over a seeded clustered embedding, in-process and through the sp_served TCP front-end (SPSERVE 1). Regenerate with `cargo run --release -p sp_bench --bin sp_serve_bench`.",
   "config": {{
     "nodes": {NODES},
     "dim": {DIM},
@@ -109,7 +123,8 @@ fn main() {
     "nprobe": {nprobe},
     "queries": {nq},
     "load_threads": {load_threads},
-    "rounds": {rounds}
+    "rounds": {rounds},
+    "tcp_rounds": {tcp_rounds}
   }},
   "results": {{
     "recall_at_10": {recall:.4},
@@ -119,7 +134,14 @@ fn main() {
     "exact_queries_per_sec": {exact_qps:.1},
     "ivf_speedup_over_exact": {speedup:.2},
     "index_build_secs": {build_secs:.3},
-    "exact_oracle_secs_per_query": {oracle_per_q:.6}
+    "exact_oracle_secs_per_query": {oracle_per_q:.6},
+    "tcp": {{
+      "queries_per_sec": {tcp_qps:.1},
+      "queries": {tcp_queries},
+      "connections": {load_threads},
+      "p50_us": {tcp_p50},
+      "p99_us": {tcp_p99}
+    }}
   }}
 }}
 "#,
@@ -128,6 +150,10 @@ fn main() {
         nq = query_nodes.len(),
         speedup = ivf_qps / exact_qps,
         oracle_per_q = exact_secs / query_nodes.len() as f64,
+        tcp_qps = tcp.qps,
+        tcp_queries = tcp.queries,
+        tcp_p50 = tcp.p50_us,
+        tcp_p99 = tcp.p99_us,
     );
     match std::fs::File::create(&out_path).and_then(|mut f| f.write_all(json.as_bytes())) {
         Ok(()) => println!("[json] {out_path}"),
@@ -149,6 +175,96 @@ fn main() {
 fn sample_nodes(count: usize) -> Vec<u32> {
     let stride = (NODES / count).max(1);
     (0..count).map(|i| ((i * stride) % NODES) as u32).collect()
+}
+
+/// TCP closed-loop results.
+struct TcpBench {
+    qps: f64,
+    queries: usize,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+/// Serves the store+index over a loopback `sp_serve::Server` and runs
+/// the closed-loop load through `threads` persistent TCP connections,
+/// one worker each; per-request latency is measured client-side.
+///
+/// Before the load starts, one probe query is checked **bit-for-bit**
+/// against the in-process IVF answer — the bench doubles as a gate
+/// that the network boundary is transparent.
+fn tcp_closed_loop(
+    store: EmbeddingStore,
+    index: IvfIndex,
+    threads: usize,
+    rounds: usize,
+    queries: &[u32],
+) -> TcpBench {
+    let probe = queries[0];
+    let reference = index.top_k_node(&store, probe, K, index.nprobe_default());
+    let serving = Arc::new(ServingStore::new(store, Some(index)));
+    let config = ServerConfig {
+        max_conns: threads + 4,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&serving), config)
+        .expect("bind loopback bench server");
+    let addr = server.local_addr().expect("bench server address");
+    let handle = server.shutdown_handle();
+    let server_thread = std::thread::spawn(move || server.run().expect("bench server run"));
+
+    {
+        let mut client = ServeClient::connect(addr).expect("connect probe client");
+        let (_, tcp_answer) = client.top_k(probe, K).expect("probe TOPK");
+        assert_eq!(tcp_answer.len(), reference.len());
+        for (a, b) in tcp_answer.iter().zip(reference.iter()) {
+            assert!(
+                a.node == b.node && a.score.to_bits() == b.score.to_bits(),
+                "TCP answer diverged from the in-process IVF answer"
+            );
+        }
+        client.quit().expect("probe quit");
+    }
+
+    let latencies = Mutex::new(Vec::<u64>::new());
+    let issued = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let latencies = &latencies;
+            let issued = &issued;
+            scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect load client");
+                let mut local = Vec::new();
+                for _ in 0..rounds {
+                    for (i, &q) in queries.iter().enumerate() {
+                        if i % threads == worker {
+                            let t = Instant::now();
+                            let (_, answer) = client.top_k(q, K).expect("load TOPK");
+                            local.push(t.elapsed().as_micros() as u64);
+                            std::hint::black_box(answer.len());
+                            issued.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                client.quit().expect("load quit");
+                latencies.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let total = issued.load(Ordering::Relaxed);
+    handle.shutdown();
+    server_thread.join().expect("join bench server");
+
+    let mut lat = latencies.into_inner().unwrap();
+    lat.sort_unstable();
+    let quantile = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize];
+    TcpBench {
+        qps: total as f64 / elapsed,
+        queries: total,
+        p50_us: quantile(0.5),
+        p99_us: quantile(0.99),
+    }
 }
 
 /// Runs `work` over the query set from `threads` closed-loop workers,

@@ -523,6 +523,76 @@ mod tests {
     }
 
     #[test]
+    fn fit_and_serve_republishes_into_a_live_tcp_server() {
+        use sp_serve::{ServeClient, Server, ServerConfig};
+        use std::sync::Arc;
+
+        let snaps = snapshots();
+        let dir = temp_dir("serve_tcp");
+        let path = dir.join("model.spm");
+        let mut rng = StdRng::seed_from_u64(7);
+        let placeholder = SkipGramModel::new(100, 16, &mut rng);
+        let serving = Arc::new(ServingStore::new(
+            sp_serve::EmbeddingStore::from_skipgram(&placeholder, Provenance::non_private(7)),
+            None,
+        ));
+        let server =
+            Server::bind("127.0.0.1:0", Arc::clone(&serving), ServerConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.shutdown_handle();
+        let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+        // A client polls over TCP while training republishes underneath
+        // it; every answer must come from one complete generation and
+        // versions must only move forward.
+        let final_version = 1 + snaps.len() as u64;
+        let poller = std::thread::spawn(move || {
+            let mut client = ServeClient::connect(addr).unwrap();
+            let mut last = 0u64;
+            loop {
+                let (version, answer) = client.top_k(0, 5).unwrap();
+                assert!(
+                    version >= last,
+                    "version went backwards: {last} -> {version}"
+                );
+                assert_eq!(answer.len(), 5);
+                last = version;
+                if version == final_version {
+                    client.quit().unwrap();
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        });
+
+        let embedder = DynamicEmbedder::new(DynamicConfig {
+            base: base_cfg(),
+            ..DynamicConfig::default()
+        });
+        embedder
+            .fit_and_serve(&snaps, &path, &serving, None)
+            .unwrap();
+        poller.join().unwrap();
+
+        // After the last republish a fresh connection answers from the
+        // final generation, bit-identical to the in-process snapshot.
+        let mut client = ServeClient::connect(addr).unwrap();
+        let (version, tcp) = client.top_k(0, 5).unwrap();
+        assert_eq!(version, final_version);
+        let local = serving.snapshot().top_k_node(0, 5);
+        assert_eq!(tcp.len(), local.len());
+        for (a, b) in tcp.iter().zip(local.iter()) {
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        client.quit().unwrap();
+
+        handle.shutdown();
+        server_thread.join().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn fit_and_serve_surfaces_write_errors_typed() {
         let snaps = snapshots();
         let embedder = DynamicEmbedder::new(DynamicConfig {

@@ -494,21 +494,58 @@ impl ModelFile {
 
 /// Atomically replaces `path` with `bytes` via a temporary sibling file
 /// and a rename (atomic on POSIX when both live in the same directory).
+///
+/// Durability: the temporary file is `fsync`ed **before** the rename —
+/// otherwise a crash after the rename could persist the new directory
+/// entry pointing at never-flushed contents, violating the "old
+/// complete file or new complete file" contract. After the rename the
+/// parent directory is synced best-effort so the entry itself survives
+/// a crash (failure to sync the directory is not an error: the data
+/// rename already succeeded, and some filesystems reject `fsync` on
+/// directory handles).
+///
+/// Concurrency: the temporary name carries a process-global counter in
+/// addition to the pid, so any number of threads in one process can
+/// republish the same path simultaneously — each write lands in its
+/// own temp file and the last rename wins with a complete payload.
 pub fn write_bytes_atomic(path: &Path, bytes: &[u8]) -> Result<(), ModelError> {
+    use std::io::Write as _;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
+
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let file_name = path.file_name().ok_or_else(|| {
         std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
     })?;
     let mut tmp_name = std::ffi::OsString::from(".");
     tmp_name.push(file_name);
-    tmp_name.push(format!(".tmp-{}", std::process::id()));
+    tmp_name.push(format!(
+        ".tmp-{}-{}",
+        std::process::id(),
+        WRITE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
     let tmp = match dir {
         Some(d) => d.join(&tmp_name),
         None => std::path::PathBuf::from(&tmp_name),
     };
-    std::fs::write(&tmp, bytes)?;
+    let write_and_sync = |tmp: &Path| -> std::io::Result<()> {
+        let mut f = std::fs::File::create(tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    };
+    if let Err(e) = write_and_sync(&tmp) {
+        std::fs::remove_file(&tmp).ok();
+        return Err(ModelError::Io(e));
+    }
     match std::fs::rename(&tmp, path) {
-        Ok(()) => Ok(()),
+        Ok(()) => {
+            if let Some(d) = dir {
+                if let Ok(dh) = std::fs::File::open(d) {
+                    dh.sync_all().ok();
+                }
+            }
+            Ok(())
+        }
         Err(e) => {
             std::fs::remove_file(&tmp).ok();
             Err(ModelError::Io(e))
@@ -641,6 +678,81 @@ mod tests {
         // Republishing over an existing file also succeeds (rename
         // replaces on POSIX).
         f.write_atomic(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_republish_same_path_never_corrupts() {
+        // Regression for the shared-temp-file race: the temp name used
+        // to be keyed only on the pid, so two threads republishing the
+        // same path interleaved writes into ONE temp file and could
+        // rename a torn mix into place. With the per-write counter,
+        // every writer gets its own temp file: all writes succeed, all
+        // concurrent reads parse complete checksum-valid models, and
+        // no temp litter survives.
+        let dir = std::env::temp_dir().join(format!("sp_model_race_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.spm");
+        let make = |tag: u64| {
+            ModelFile::dense(
+                F32Matrix::from_vec(32, 8, vec![tag as f32; 32 * 8]),
+                Provenance::non_private(tag),
+            )
+        };
+        make(0).write_atomic(&path).unwrap();
+        std::thread::scope(|scope| {
+            let path = &path;
+            let mut writers = Vec::new();
+            for w in 0..4u64 {
+                writers.push(scope.spawn(move || {
+                    for i in 0..25u64 {
+                        make(w * 1000 + i).write_atomic(path).unwrap();
+                    }
+                }));
+            }
+            let reader = scope.spawn(move || {
+                for _ in 0..200 {
+                    let f = ModelFile::read(path).expect("concurrent read must be complete");
+                    // Payload and provenance always agree on one tag.
+                    let tag = f.provenance.seed;
+                    assert!(f
+                        .payload
+                        .vectors()
+                        .as_slice()
+                        .iter()
+                        .all(|&v| v == tag as f32));
+                }
+            });
+            for w in writers {
+                w.join().unwrap();
+            }
+            reader.join().unwrap();
+        });
+        // Every temp file was renamed or cleaned up.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name())
+            .filter(|n| n.to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp litter: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_survives_stale_temp_garbage() {
+        // A writer killed mid-write leaves a stale temp file behind.
+        // Later publishes must neither trip over it nor publish it.
+        let dir = std::env::temp_dir().join(format!("sp_model_stale_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.spm");
+        std::fs::write(dir.join(".model.spm.tmp-99999-0"), b"torn garbage").unwrap();
+        let f = ModelFile::dense(
+            F32Matrix::from_vec(2, 2, vec![1.0; 4]),
+            Provenance::non_private(7),
+        );
+        f.write_atomic(&path).unwrap();
+        assert_eq!(ModelFile::read(&path).unwrap(), f);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -25,6 +25,14 @@
 //!   generation pointer, so in-flight queries see the old or the new
 //!   model in full, never a torn mix.
 //!
+//! On top of those sits the network boundary: [`server::Server`] (the
+//! `sp_served` binary) speaks the versioned [`protocol`] line protocol
+//! over std TCP — thread-per-connection, bounded concurrency, typed
+//! rejection of malformed input, graceful drain — with [`metrics`]
+//! counters behind the `STATS` command and a [`client::ServeClient`]
+//! for programmatic access. Every response carries scores as raw f32
+//! bit patterns, so TCP answers are bit-identical to in-process ones.
+//!
 //! ## Determinism contract
 //!
 //! Index construction inherits the workspace-wide guarantee: for a
@@ -38,11 +46,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod ivf;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
 pub mod store;
 pub mod swap;
 pub mod synthetic;
 
+pub use client::{ClientError, ServeClient, ServerInfo};
 pub use ivf::{IvfConfig, IvfIndex};
-pub use store::{recall_at_k, EmbeddingStore, Neighbor};
+pub use metrics::{MetricsSnapshot, ServerMetrics};
+pub use server::{Server, ServerConfig, ServerReport, ShutdownHandle};
+pub use store::{recall_at_k, EmbeddingStore, Neighbor, QueryError};
 pub use swap::{Generation, ServingStore};

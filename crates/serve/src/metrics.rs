@@ -1,0 +1,285 @@
+//! Server-side observability: request counters, a lock-free latency
+//! histogram, and per-generation hit counts — everything the `STATS`
+//! protocol command reports.
+//!
+//! The histogram is log₂-bucketed in microseconds: recording is a
+//! single relaxed atomic increment on the hot path, and quantiles are
+//! read as the upper bound of the first bucket whose cumulative count
+//! crosses the rank (an upper bound accurate to 2× — plenty for a
+//! p50/p99 regression signal).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Number of log₂ latency buckets: bucket `i` holds samples in
+/// `[2^(i-1), 2^i)` µs (bucket 0 holds sub-microsecond samples), so
+/// the top bucket saturates at ~2³⁸ µs — days.
+const LATENCY_BUCKETS: usize = 39;
+
+/// The request kinds tracked per command.
+pub(crate) const COMMAND_NAMES: [&str; 7] = [
+    "topk", "link", "info", "stats", "reload", "quit", "shutdown",
+];
+
+/// Index into the per-command counters for a protocol command name.
+pub(crate) fn command_index(name: &str) -> usize {
+    COMMAND_NAMES
+        .iter()
+        .position(|&c| c.eq_ignore_ascii_case(name))
+        .expect("every Request maps to a counter")
+}
+
+/// Live counters of one running server. All methods are safe to call
+/// from any number of connection threads concurrently.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    started: Instant,
+    conns_total: AtomicU64,
+    conns_active: AtomicU64,
+    conns_rejected: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    per_command: [AtomicU64; COMMAND_NAMES.len()],
+    latency: [AtomicU64; LATENCY_BUCKETS],
+    generation_hits: Mutex<BTreeMap<u64, u64>>,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServerMetrics {
+    /// Fresh counters; the uptime clock starts now.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            conns_total: AtomicU64::new(0),
+            conns_active: AtomicU64::new(0),
+            conns_rejected: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            per_command: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+            generation_hits: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// A connection was accepted; returns the new active count.
+    pub(crate) fn conn_opened(&self) -> u64 {
+        self.conns_total.fetch_add(1, Ordering::Relaxed);
+        self.conns_active.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// A connection handler finished.
+    pub(crate) fn conn_closed(&self) {
+        self.conns_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A connection was turned away at the capacity limit.
+    pub(crate) fn conn_rejected(&self) {
+        self.conns_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One request completed. `command` is a protocol command name,
+    /// `generation` the model version that answered (query commands
+    /// only), `ok` whether the response was an `OK`.
+    pub(crate) fn record_request(
+        &self,
+        command: &str,
+        micros: u64,
+        generation: Option<u64>,
+        ok: bool,
+    ) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.per_command[command_index(command)].fetch_add(1, Ordering::Relaxed);
+        self.latency[Self::bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+        if let Some(version) = generation {
+            let mut hits = self.generation_hits.lock().expect("metrics lock poisoned");
+            *hits.entry(version).or_insert(0) += 1;
+        }
+    }
+
+    /// A request that failed before it could be attributed to any
+    /// command (parse error, oversized line, timeout notice).
+    pub(crate) fn record_malformed(&self, micros: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.latency[Self::bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn bucket_of(micros: u64) -> usize {
+        ((64 - micros.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+    }
+
+    /// A point-in-time copy of every counter, for `STATS` and tests.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let latency: Vec<u64> = self
+            .latency
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        MetricsSnapshot {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            conns_total: self.conns_total.load(Ordering::Relaxed),
+            conns_active: self.conns_active.load(Ordering::Relaxed),
+            conns_rejected: self.conns_rejected.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            per_command: COMMAND_NAMES
+                .iter()
+                .zip(&self.per_command)
+                .map(|(&name, c)| (name, c.load(Ordering::Relaxed)))
+                .collect(),
+            p50_us: quantile(&latency, 0.50),
+            p99_us: quantile(&latency, 0.99),
+            generation_hits: self
+                .generation_hits
+                .lock()
+                .expect("metrics lock poisoned")
+                .iter()
+                .map(|(&v, &h)| (v, h))
+                .collect(),
+        }
+    }
+}
+
+/// The upper bound (µs) of the first bucket whose cumulative count
+/// reaches quantile `q`; 0 when nothing was recorded.
+fn quantile(buckets: &[u64], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = (q * total as f64).ceil() as u64;
+    let mut seen = 0u64;
+    for (i, &count) in buckets.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return if i == 0 { 1 } else { 1u64 << i };
+        }
+    }
+    1u64 << (buckets.len() - 1)
+}
+
+/// One consistent reading of the server counters.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Milliseconds since the metrics (≈ the server) started.
+    pub uptime_ms: u64,
+    /// Connections accepted over the server lifetime.
+    pub conns_total: u64,
+    /// Connections currently open.
+    pub conns_active: u64,
+    /// Connections turned away at the `max_conns` limit.
+    pub conns_rejected: u64,
+    /// Requests handled (including malformed ones).
+    pub requests: u64,
+    /// Requests answered with an `ERR` line.
+    pub errors: u64,
+    /// Requests per protocol command, `(name, count)` in fixed
+    /// protocol order (`topk`, `link`, `info`, `stats`, `reload`,
+    /// `quit`, `shutdown`).
+    pub per_command: Vec<(&'static str, u64)>,
+    /// Median request latency upper bound, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency upper bound, microseconds.
+    pub p99_us: u64,
+    /// `(generation version, queries answered by it)`, ascending.
+    pub generation_hits: Vec<(u64, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// The `STATS` response block: one `OK STATS` counter line,
+    /// one `GEN <version> <hits>` line per generation, `END`.
+    pub fn to_stats_block(&self) -> String {
+        let mut out = format!(
+            "OK STATS uptime_ms={} conns_total={} conns_active={} conns_rejected={} \
+             requests={} errors={}",
+            self.uptime_ms,
+            self.conns_total,
+            self.conns_active,
+            self.conns_rejected,
+            self.requests,
+            self.errors
+        );
+        for &(name, count) in &self.per_command {
+            out.push_str(&format!(" {name}={count}"));
+        }
+        out.push_str(&format!(" p50_us={} p99_us={}\n", self.p50_us, self.p99_us));
+        for &(version, hits) in &self.generation_hits {
+            out.push_str(&format!("GEN {version} {hits}\n"));
+        }
+        out.push_str("END\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let m = ServerMetrics::new();
+        assert_eq!(m.conn_opened(), 1);
+        assert_eq!(m.conn_opened(), 2);
+        m.conn_closed();
+        m.conn_rejected();
+        m.record_request("TOPK", 12, Some(1), true);
+        m.record_request("TOPK", 700, Some(2), true);
+        m.record_request("LINK", 3, Some(2), true);
+        m.record_request("RELOAD", 9000, None, false);
+        m.record_malformed(1);
+        let s = m.snapshot();
+        assert_eq!(s.conns_total, 2);
+        assert_eq!(s.conns_active, 1);
+        assert_eq!(s.conns_rejected, 1);
+        assert_eq!(s.requests, 5);
+        assert_eq!(s.errors, 2);
+        assert_eq!(s.per_command[command_index("topk")], ("topk", 2));
+        assert_eq!(s.per_command[command_index("link")], ("link", 1));
+        assert_eq!(s.per_command[command_index("reload")], ("reload", 1));
+        assert_eq!(s.generation_hits, vec![(1, 1), (2, 2)]);
+        assert!(s.p50_us > 0 && s.p99_us >= s.p50_us);
+    }
+
+    #[test]
+    fn quantile_upper_bounds_are_monotone() {
+        // 100 samples at ~16us, 1 at ~4096us.
+        let m = ServerMetrics::new();
+        for _ in 0..100 {
+            m.record_request("INFO", 16, None, true);
+        }
+        m.record_request("INFO", 4096, None, true);
+        let s = m.snapshot();
+        assert!(s.p50_us >= 16 && s.p50_us <= 32, "p50={}", s.p50_us);
+        assert!(s.p99_us <= 8192, "p99={}", s.p99_us);
+        assert!(s.p99_us >= s.p50_us);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let s = ServerMetrics::new().snapshot();
+        assert_eq!(s.p50_us, 0);
+        assert_eq!(s.p99_us, 0);
+    }
+
+    #[test]
+    fn stats_block_is_end_terminated() {
+        let m = ServerMetrics::new();
+        m.record_request("TOPK", 5, Some(3), true);
+        let block = m.snapshot().to_stats_block();
+        let lines: Vec<&str> = block.lines().collect();
+        assert!(lines[0].starts_with("OK STATS "));
+        assert!(lines[0].contains("topk=1"));
+        assert_eq!(lines[1], "GEN 3 1");
+        assert_eq!(*lines.last().unwrap(), "END");
+    }
+}

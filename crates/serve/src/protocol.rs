@@ -1,0 +1,298 @@
+//! The `SPSERVE` line protocol version 1 — the wire format of the
+//! [`sp_served`](crate::server) TCP front-end.
+//!
+//! Every request is one UTF-8 line (`\n`-terminated, `\r\n` tolerated)
+//! and every response is either a single `OK …`/`ERR …` line or an
+//! `OK …` header followed by payload lines and a terminating `END`.
+//! On connect the server greets with `SPSERVE 1 READY` so clients can
+//! verify the protocol version before sending anything.
+//!
+//! | Request | Response |
+//! |---|---|
+//! | `TOPK <node> <k>` | `OK TOPK version=<v> count=<n>`, then `<rank> <node> <bits> <score>` × n, then `END` |
+//! | `LINK <u> <v>` | `OK LINK version=<v> bits=<hex8> score=<dec>` |
+//! | `INFO` | `OK INFO version=<v> nodes=<n> dim=<d> seed=<s> epsilon=<e> delta=<e> index=<desc>` |
+//! | `STATS` | `OK STATS <counters…>`, then `GEN <version> <hits>` per generation, then `END` |
+//! | `RELOAD` | `OK RELOAD version=<v>` |
+//! | `QUIT` | `OK BYE`, connection closes |
+//! | `SHUTDOWN` | `OK SHUTDOWN draining`, server drains and exits |
+//!
+//! Scores travel twice: as the exact **f32 bit pattern** (`bits`, eight
+//! lowercase hex digits) and as a human-readable decimal. The bit
+//! pattern is the contract — a client that parses it with
+//! [`f32::from_bits`] recovers answers bit-identical to an in-process
+//! query (asserted by `tests/served_tcp.rs`).
+//!
+//! Failures are `ERR <code> <message>` lines and never terminate the
+//! server: `400` malformed request, `404` unknown node / dimension
+//! mismatch, `408` idle timeout, `500` reload failure, `503` over
+//! capacity or shutting down.
+
+use crate::store::{Neighbor, QueryError};
+
+/// The protocol version this build speaks (greeting `SPSERVE 1`).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Default cap on one request line; longer lines are rejected with
+/// `ERR 400` and the connection is closed (the stream cannot resync).
+pub const DEFAULT_MAX_LINE_BYTES: usize = 1024;
+
+/// Upper bound on `k` in a `TOPK` request — a single query must not be
+/// able to pin a worker on an absurd result size.
+pub const MAX_K: usize = 10_000;
+
+/// One parsed client request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Top-k neighbours of a stored node.
+    TopK {
+        /// Query node id.
+        node: u32,
+        /// Result size.
+        k: usize,
+    },
+    /// Link score between two stored nodes.
+    Link {
+        /// Source node.
+        u: u32,
+        /// Target node.
+        v: u32,
+    },
+    /// Model provenance and serving parameters.
+    Info,
+    /// Server counters and latency quantiles.
+    Stats,
+    /// Atomic generation swap from the configured model path.
+    Reload,
+    /// Close this connection.
+    Quit,
+    /// Drain in-flight requests and stop the server.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line (already stripped of `\n`/`\r\n`).
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let mut parts = line.split_ascii_whitespace();
+        let cmd = parts.next().ok_or_else(|| "empty request".to_string())?;
+        let rest: Vec<&str> = parts.collect();
+        let arg = |i: usize, what: &str| -> Result<&str, String> {
+            rest.get(i)
+                .copied()
+                .ok_or_else(|| format!("{cmd} missing <{what}>"))
+        };
+        let exactly = |n: usize| -> Result<(), String> {
+            if rest.len() == n {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{cmd} takes {n} argument{}, got {}",
+                    if n == 1 { "" } else { "s" },
+                    rest.len()
+                ))
+            }
+        };
+        match cmd.to_ascii_uppercase().as_str() {
+            "TOPK" => {
+                exactly(2)?;
+                let node: u32 = arg(0, "node")?
+                    .parse()
+                    .map_err(|e| format!("TOPK node: {e}"))?;
+                let k: usize = arg(1, "k")?.parse().map_err(|e| format!("TOPK k: {e}"))?;
+                if k == 0 || k > MAX_K {
+                    return Err(format!("TOPK k must be in 1..={MAX_K}, got {k}"));
+                }
+                Ok(Request::TopK { node, k })
+            }
+            "LINK" => {
+                exactly(2)?;
+                let u: u32 = arg(0, "u")?.parse().map_err(|e| format!("LINK u: {e}"))?;
+                let v: u32 = arg(1, "v")?.parse().map_err(|e| format!("LINK v: {e}"))?;
+                Ok(Request::Link { u, v })
+            }
+            "INFO" => exactly(0).map(|()| Request::Info),
+            "STATS" => exactly(0).map(|()| Request::Stats),
+            "RELOAD" => exactly(0).map(|()| Request::Reload),
+            "QUIT" => exactly(0).map(|()| Request::Quit),
+            "SHUTDOWN" => exactly(0).map(|()| Request::Shutdown),
+            other => Err(format!("unknown command {other:?}")),
+        }
+    }
+
+    /// The canonical command name (metrics label).
+    pub fn command_name(&self) -> &'static str {
+        match self {
+            Request::TopK { .. } => "TOPK",
+            Request::Link { .. } => "LINK",
+            Request::Info => "INFO",
+            Request::Stats => "STATS",
+            Request::Reload => "RELOAD",
+            Request::Quit => "QUIT",
+            Request::Shutdown => "SHUTDOWN",
+        }
+    }
+}
+
+/// The connection greeting, newline-terminated.
+pub fn greeting() -> String {
+    format!("SPSERVE {PROTOCOL_VERSION} READY\n")
+}
+
+/// One `ERR` line. The message is flattened to a single line so a
+/// multi-line error can never desynchronise the framing.
+pub fn err_line(code: u16, message: &str) -> String {
+    let flat: String = message
+        .chars()
+        .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+        .collect();
+    format!("ERR {code} {flat}\n")
+}
+
+/// The protocol error code a typed query rejection maps to.
+pub fn query_error_code(err: &QueryError) -> u16 {
+    match err {
+        QueryError::DimensionMismatch { .. } | QueryError::NodeOutOfRange { .. } => 404,
+    }
+}
+
+/// The `TOPK` response block: header, one line per neighbour (rank is
+/// 1-based; `bits` is the exact f32 bit pattern), `END`.
+pub fn format_topk(version: u64, answer: &[Neighbor]) -> String {
+    let mut out = format!("OK TOPK version={version} count={}\n", answer.len());
+    for (rank, n) in answer.iter().enumerate() {
+        out.push_str(&format!(
+            "{} {} {:08x} {}\n",
+            rank + 1,
+            n.node,
+            n.score.to_bits(),
+            n.score
+        ));
+    }
+    out.push_str("END\n");
+    out
+}
+
+/// The `LINK` response line.
+pub fn format_link(version: u64, score: f32) -> String {
+    format!(
+        "OK LINK version={version} bits={:08x} score={score}\n",
+        score.to_bits()
+    )
+}
+
+/// The `INFO` response line. `f64` fields use Rust's shortest
+/// round-trip formatting, so `epsilon`/`delta` parse back exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn format_info(
+    version: u64,
+    nodes: usize,
+    dim: usize,
+    seed: u64,
+    epsilon: f64,
+    delta: f64,
+    index: &str,
+) -> String {
+    format!(
+        "OK INFO version={version} nodes={nodes} dim={dim} seed={seed} \
+         epsilon={epsilon} delta={delta} index={index}\n"
+    )
+}
+
+/// The `RELOAD` acknowledgement.
+pub fn format_reload(version: u64) -> String {
+    format!("OK RELOAD version={version}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command() {
+        assert_eq!(
+            Request::parse("TOPK 3 10"),
+            Ok(Request::TopK { node: 3, k: 10 })
+        );
+        assert_eq!(Request::parse("link 1 2"), Ok(Request::Link { u: 1, v: 2 }));
+        assert_eq!(Request::parse("INFO"), Ok(Request::Info));
+        assert_eq!(Request::parse("STATS"), Ok(Request::Stats));
+        assert_eq!(Request::parse("RELOAD"), Ok(Request::Reload));
+        assert_eq!(Request::parse("QUIT"), Ok(Request::Quit));
+        assert_eq!(Request::parse("SHUTDOWN"), Ok(Request::Shutdown));
+        // Extra whitespace is tolerated.
+        assert_eq!(
+            Request::parse("  TOPK   7   2  "),
+            Ok(Request::TopK { node: 7, k: 2 })
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_reasons() {
+        assert!(Request::parse("").unwrap_err().contains("empty"));
+        assert!(Request::parse("FROB 1").unwrap_err().contains("unknown"));
+        assert!(Request::parse("TOPK").unwrap_err().contains("argument"));
+        assert!(Request::parse("TOPK 1").unwrap_err().contains("argument"));
+        assert!(Request::parse("TOPK 1 2 3")
+            .unwrap_err()
+            .contains("argument"));
+        assert!(Request::parse("TOPK x 2").unwrap_err().contains("node"));
+        assert!(Request::parse("TOPK 1 -2").unwrap_err().contains("k"));
+        assert!(Request::parse("LINK 1 nope").unwrap_err().contains("v"));
+        assert!(Request::parse("INFO now").unwrap_err().contains("argument"));
+        let huge = format!("TOPK 1 {}", MAX_K + 1);
+        assert!(Request::parse(&huge).unwrap_err().contains("1..="));
+        assert!(Request::parse("TOPK 1 0").unwrap_err().contains("1..="));
+    }
+
+    #[test]
+    fn topk_block_round_trips_bits() {
+        let answer = vec![
+            Neighbor {
+                node: 5,
+                score: f32::NAN,
+            },
+            Neighbor {
+                node: 2,
+                score: -0.0,
+            },
+        ];
+        let block = format_topk(7, &answer);
+        let lines: Vec<&str> = block.lines().collect();
+        assert_eq!(lines[0], "OK TOPK version=7 count=2");
+        assert_eq!(lines[3], "END");
+        for (i, n) in answer.iter().enumerate() {
+            let fields: Vec<&str> = lines[1 + i].split(' ').collect();
+            assert_eq!(fields[0], (i + 1).to_string());
+            assert_eq!(fields[1], n.node.to_string());
+            let bits = u32::from_str_radix(fields[2], 16).unwrap();
+            assert_eq!(bits, n.score.to_bits(), "bit pattern survives the wire");
+        }
+    }
+
+    #[test]
+    fn err_line_flattens_newlines() {
+        let line = err_line(400, "bad\nrequest\r\nhere");
+        assert_eq!(line.matches('\n').count(), 1);
+        assert!(line.starts_with("ERR 400 "));
+    }
+
+    #[test]
+    fn info_numbers_round_trip() {
+        let line = format_info(3, 100, 16, 42, 3.5, 1e-5, "exact");
+        let eps: f64 = line
+            .split_whitespace()
+            .find_map(|f| f.strip_prefix("epsilon="))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(eps, 3.5);
+        let inf = format_info(1, 1, 1, 0, f64::INFINITY, 0.0, "exact");
+        let eps: f64 = inf
+            .split_whitespace()
+            .find_map(|f| f.strip_prefix("epsilon="))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(eps.is_infinite());
+    }
+}

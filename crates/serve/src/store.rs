@@ -4,7 +4,50 @@ use sp_linalg::DenseMatrix;
 use sp_model::{F32Matrix, ModelError, ModelFile, ModelPayload, Provenance};
 use sp_skipgram::SkipGramModel;
 use std::cmp::Ordering;
+use std::fmt;
 use std::path::Path;
+
+/// Typed rejection of an invalid query. The serving front-end maps
+/// these to protocol errors; nothing on the query path panics on bad
+/// client input. In particular a wrong-dimension query vector is
+/// rejected here, at the public [`EmbeddingStore`] boundary — the
+/// internal fixed-order `dot` would otherwise silently zip-truncate in
+/// release builds and return plausible-but-wrong scores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query vector's length differs from the store dimension.
+    DimensionMismatch {
+        /// The store's embedding dimension.
+        expected: usize,
+        /// The query vector's length.
+        found: usize,
+    },
+    /// A node id at or beyond the store's node count.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// Number of nodes the store serves.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::DimensionMismatch { expected, found } => {
+                write!(
+                    f,
+                    "query dimension {found} does not match model dimension {expected}"
+                )
+            }
+            QueryError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range (model has {nodes} nodes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
 
 /// One ranked answer: a node and its (inner-product) score.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -171,6 +214,32 @@ impl EmbeddingStore {
         self.context.is_some()
     }
 
+    /// Validates a query vector's length against the store dimension.
+    #[inline]
+    pub fn check_dim(&self, query: &[f32]) -> Result<(), QueryError> {
+        if query.len() == self.dim() {
+            Ok(())
+        } else {
+            Err(QueryError::DimensionMismatch {
+                expected: self.dim(),
+                found: query.len(),
+            })
+        }
+    }
+
+    /// Validates a node id against the store's node count.
+    #[inline]
+    pub fn check_node(&self, node: u32) -> Result<(), QueryError> {
+        if (node as usize) < self.num_nodes() {
+            Ok(())
+        } else {
+            Err(QueryError::NodeOutOfRange {
+                node,
+                nodes: self.num_nodes(),
+            })
+        }
+    }
+
     /// Inner-product score of `node` against an arbitrary query vector.
     ///
     /// # Panics
@@ -185,12 +254,24 @@ impl EmbeddingStore {
     /// edge likelihood (Eq. 5's positive term). Falls back to the
     /// symmetric `σ(W_in[u] · W_in[v])` when the published file carried
     /// only the node vectors.
+    ///
+    /// # Panics
+    /// Panics if either node is out of range; servers use
+    /// [`EmbeddingStore::try_link_score`].
     pub fn link_score(&self, u: u32, v: u32) -> f32 {
+        self.try_link_score(u, v).expect("node out of range")
+    }
+
+    /// [`EmbeddingStore::link_score`] with typed validation instead of
+    /// a panic.
+    pub fn try_link_score(&self, u: u32, v: u32) -> Result<f32, QueryError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
         let ctx_row = match &self.context {
             Some(ctx) => ctx.row(v as usize),
             None => self.vectors.row(v as usize),
         };
-        sigmoid(dot(self.embedding(u), ctx_row))
+        Ok(sigmoid(dot(self.embedding(u), ctx_row)))
     }
 
     /// **The exact oracle**: brute-force top-k by inner product over
@@ -198,9 +279,17 @@ impl EmbeddingStore {
     /// checked against this.
     ///
     /// # Panics
-    /// Panics if `query.len() != self.dim()`.
+    /// Panics if `query.len() != self.dim()`; servers use
+    /// [`EmbeddingStore::try_exact_top_k`].
     pub fn exact_top_k(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
-        assert_eq!(query.len(), self.dim(), "query dimension mismatch");
+        self.try_exact_top_k(query, k)
+            .expect("query dimension mismatch")
+    }
+
+    /// [`EmbeddingStore::exact_top_k`] with typed validation instead of
+    /// a panic.
+    pub fn try_exact_top_k(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, QueryError> {
+        self.check_dim(query)?;
         let mut top = TopK::new(k);
         for node in 0..self.num_nodes() as u32 {
             top.push(Neighbor {
@@ -208,12 +297,24 @@ impl EmbeddingStore {
                 score: dot(query, self.vectors.row(node as usize)),
             });
         }
-        top.into_sorted()
+        Ok(top.into_sorted())
     }
 
     /// Exact top-k neighbours of a stored node (the node itself is
     /// excluded from its own answer).
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range; servers use
+    /// [`EmbeddingStore::try_exact_top_k_node`].
     pub fn exact_top_k_node(&self, node: u32, k: usize) -> Vec<Neighbor> {
+        self.try_exact_top_k_node(node, k)
+            .expect("node out of range")
+    }
+
+    /// [`EmbeddingStore::exact_top_k_node`] with typed validation
+    /// instead of a panic.
+    pub fn try_exact_top_k_node(&self, node: u32, k: usize) -> Result<Vec<Neighbor>, QueryError> {
+        self.check_node(node)?;
         let query = self.embedding(node).to_vec();
         let mut top = TopK::new(k + 1);
         for cand in 0..self.num_nodes() as u32 {
@@ -227,7 +328,7 @@ impl EmbeddingStore {
         }
         let mut out = top.into_sorted();
         out.truncate(k);
-        out
+        Ok(out)
     }
 }
 
@@ -345,6 +446,43 @@ mod tests {
         ];
         assert_eq!(recall_at_k(&approx, &exact), 0.5);
         assert_eq!(recall_at_k(&approx, &[]), 1.0);
+    }
+
+    #[test]
+    fn wrong_dimension_query_is_rejected_not_truncated() {
+        // Regression: `dot` only debug_asserts lengths, so in release a
+        // short query used to zip-truncate and come back with plausible
+        // scores. The public boundary must reject it typed.
+        let s = tiny_store();
+        let err = s.try_exact_top_k(&[1.0], 4).unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::DimensionMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
+        let err = s.try_exact_top_k(&[1.0, 0.0, 3.0], 4).unwrap_err();
+        assert!(matches!(
+            err,
+            QueryError::DimensionMismatch { found: 3, .. }
+        ));
+        assert!(err.to_string().contains("dimension"));
+    }
+
+    #[test]
+    fn out_of_range_node_is_rejected_typed() {
+        let s = tiny_store();
+        assert_eq!(
+            s.try_exact_top_k_node(4, 2).unwrap_err(),
+            QueryError::NodeOutOfRange { node: 4, nodes: 4 }
+        );
+        assert!(s.try_link_score(0, 99).is_err());
+        assert!(s.try_link_score(99, 0).is_err());
+        assert_eq!(
+            s.try_link_score(0, 1).unwrap().to_bits(),
+            s.link_score(0, 1).to_bits()
+        );
     }
 
     #[test]

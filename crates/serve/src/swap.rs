@@ -12,7 +12,7 @@
 //! by the `sp_dynamic` republish suite).
 
 use crate::ivf::IvfIndex;
-use crate::store::{EmbeddingStore, Neighbor};
+use crate::store::{EmbeddingStore, Neighbor, QueryError};
 use sp_model::ModelError;
 use std::path::Path;
 use std::sync::{Arc, RwLock};
@@ -31,11 +31,31 @@ pub struct Generation {
 impl Generation {
     /// Top-k neighbours of `node` within this generation: through the
     /// index when one is attached, exact otherwise.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range; servers use
+    /// [`Generation::try_top_k_node`].
     pub fn top_k_node(&self, node: u32, k: usize) -> Vec<Neighbor> {
-        match &self.index {
+        self.try_top_k_node(node, k).expect("node out of range")
+    }
+
+    /// [`Generation::top_k_node`] with typed validation instead of a
+    /// panic — the entry point the TCP front-end answers `TOPK` from.
+    pub fn try_top_k_node(&self, node: u32, k: usize) -> Result<Vec<Neighbor>, QueryError> {
+        self.store.check_node(node)?;
+        Ok(match &self.index {
             Some(idx) => idx.top_k_node(&self.store, node, k, idx.nprobe_default()),
-            None => self.store.exact_top_k_node(node, k),
-        }
+            None => self
+                .store
+                .try_exact_top_k_node(node, k)
+                .expect("node validated above"),
+        })
+    }
+
+    /// Link score within this generation, with typed validation — the
+    /// entry point the TCP front-end answers `LINK` from.
+    pub fn try_link_score(&self, u: u32, v: u32) -> Result<f32, QueryError> {
+        self.store.try_link_score(u, v)
     }
 }
 
