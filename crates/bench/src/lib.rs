@@ -18,4 +18,5 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod kernels;
 pub mod methods;

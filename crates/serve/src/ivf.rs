@@ -61,15 +61,51 @@ fn splitmix64(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Squared L2 distance with fixed accumulation order.
+/// Squared L2 distance with a fixed canonical accumulation order —
+/// the lane-structured [`sp_linalg::vector::dist2_sq_f32`] kernel
+/// (k-means assignment and probe ordering both route through here, so
+/// build and query see the identical order).
 #[inline]
 fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
-    let mut s = 0.0f32;
-    for (x, y) in a.iter().zip(b) {
-        let d = x - y;
-        s += d * d;
+    sp_linalg::vector::dist2_sq_f32(a, b)
+}
+
+/// The seeded distinct-node pick sequence used to initialise the
+/// k-means centroids: walk a splitmix64 stream over node indices,
+/// skipping repeats via a seen-bitmap (O(1) per candidate; the old
+/// `picked.contains` scan was O(nlist) each, O(nlist²) total, which
+/// hurt at `nlist >= 512`). Falls back to a plain sweep if the stream
+/// is unlucky (tiny n). The sequence is pinned by a golden test: the
+/// bitmap rewrite must keep it bit-identical to the original scan.
+fn seed_centroid_nodes(seed: u64, n: usize, nlist: usize) -> Vec<u32> {
+    let mut picked: Vec<u32> = Vec::with_capacity(nlist);
+    if n == 0 {
+        return picked;
     }
-    s
+    let mut seen = vec![false; n];
+    let mut state = seed;
+    let mut guard = 0usize;
+    while picked.len() < nlist {
+        state = splitmix64(state);
+        let cand = (state % n as u64) as u32;
+        if !seen[cand as usize] {
+            seen[cand as usize] = true;
+            picked.push(cand);
+        }
+        guard += 1;
+        if guard > 64 * nlist {
+            for cand in 0..n as u32 {
+                if picked.len() == nlist {
+                    break;
+                }
+                if !seen[cand as usize] {
+                    seen[cand as usize] = true;
+                    picked.push(cand);
+                }
+            }
+        }
+    }
+    picked
 }
 
 /// Nearest centroid of `v` under L2, ties toward the lower id.
@@ -96,30 +132,9 @@ impl IvfIndex {
         let nlist = cfg.nlist.clamp(1, n.max(1));
         let threads = resolve_threads(threads);
 
-        // Seeded distinct-node initialisation: walk a splitmix64
-        // stream over node indices, skipping repeats. Falls back to a
-        // plain sweep if the stream is unlucky (tiny n).
-        let mut picked: Vec<u32> = Vec::with_capacity(nlist);
-        let mut state = cfg.seed;
-        let mut guard = 0usize;
-        while picked.len() < nlist && n > 0 {
-            state = splitmix64(state);
-            let cand = (state % n as u64) as u32;
-            if !picked.contains(&cand) {
-                picked.push(cand);
-            }
-            guard += 1;
-            if guard > 64 * nlist {
-                for cand in 0..n as u32 {
-                    if picked.len() == nlist {
-                        break;
-                    }
-                    if !picked.contains(&cand) {
-                        picked.push(cand);
-                    }
-                }
-            }
-        }
+        // Seeded distinct-node initialisation (seen-bitmap, see
+        // `seed_centroid_nodes`).
+        let picked = seed_centroid_nodes(cfg.seed, n, nlist);
         let mut centroids: Vec<f32> = Vec::with_capacity(nlist * dim);
         for &node in &picked {
             centroids.extend_from_slice(store.embedding(node));
@@ -343,6 +358,73 @@ mod tests {
                 .collect::<Vec<_>>(),
         );
         assert_eq!(one.lists, four.lists);
+    }
+
+    /// Pre-bitmap reference: the original `picked.contains` scan.
+    fn seed_centroid_nodes_reference(seed: u64, n: usize, nlist: usize) -> Vec<u32> {
+        let mut picked: Vec<u32> = Vec::with_capacity(nlist);
+        let mut state = seed;
+        let mut guard = 0usize;
+        while picked.len() < nlist && n > 0 {
+            state = splitmix64(state);
+            let cand = (state % n as u64) as u32;
+            if !picked.contains(&cand) {
+                picked.push(cand);
+            }
+            guard += 1;
+            if guard > 64 * nlist {
+                for cand in 0..n as u32 {
+                    if picked.len() == nlist {
+                        break;
+                    }
+                    if !picked.contains(&cand) {
+                        picked.push(cand);
+                    }
+                }
+            }
+        }
+        picked
+    }
+
+    #[test]
+    fn bitmap_seeding_is_bit_identical_to_the_contains_scan() {
+        // The O(n) bitmap must reproduce the O(nlist²) original
+        // exactly — same candidates accepted in the same order —
+        // including the unlucky-stream sweep fallback (n == nlist).
+        for (seed, n, nlist) in [
+            (IvfConfig::default().seed, 10_312, 64),
+            (IvfConfig::default().seed, 1000, 512),
+            (0, 7, 7),
+            (42, 100, 100),
+            (0xDEAD_BEEF, 3, 1),
+            (1, 2048, 1024),
+        ] {
+            assert_eq!(
+                seed_centroid_nodes(seed, n, nlist),
+                seed_centroid_nodes_reference(seed, n, nlist),
+                "seeding diverged for seed={seed:#x} n={n} nlist={nlist}"
+            );
+        }
+        assert!(seed_centroid_nodes(1, 0, 4).is_empty());
+    }
+
+    #[test]
+    fn seeding_golden_on_default_seed() {
+        // Golden pin for the default seed at the acceptance-gate scale
+        // (10,312 nodes, 64 lists): FNV-1a over the picked sequence.
+        let picked = seed_centroid_nodes(IvfConfig::default().seed, 10_312, 64);
+        assert_eq!(picked.len(), 64);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &node in &picked {
+            for b in (node as u64).to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        assert_eq!(
+            h, 0x1257_fc66_aa61_2c38,
+            "centroid pick sequence drifted from the pinned golden"
+        );
     }
 
     #[test]

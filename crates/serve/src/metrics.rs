@@ -41,6 +41,7 @@ pub struct ServerMetrics {
     conns_rejected: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
+    malformed: AtomicU64,
     per_command: [AtomicU64; COMMAND_NAMES.len()],
     latency: [AtomicU64; LATENCY_BUCKETS],
     generation_hits: Mutex<BTreeMap<u64, u64>>,
@@ -62,26 +63,50 @@ impl ServerMetrics {
             conns_rejected: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
             per_command: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
             generation_hits: Mutex::new(BTreeMap::new()),
         }
     }
 
-    /// A connection was accepted; returns the new active count.
-    pub(crate) fn conn_opened(&self) -> u64 {
-        self.conns_total.fetch_add(1, Ordering::Relaxed);
-        self.conns_active.fetch_add(1, Ordering::Relaxed) + 1
+    /// Atomically claims a connection slot against `max_conns`.
+    ///
+    /// On success the connection counts as **accepted** (`conns_total`
+    /// and `conns_active` advance; the caller must pair it with
+    /// [`ServerMetrics::conn_closed`]). Over the bound nothing but
+    /// `conns_rejected` advances — accepted and rejected connections
+    /// are counted disjointly, so `conns_total` matches its
+    /// documentation ("accepted over the server lifetime") by
+    /// construction.
+    pub(crate) fn try_accept(&self, max_conns: u64) -> bool {
+        let active = self.conns_active.fetch_add(1, Ordering::Relaxed) + 1;
+        if active > max_conns {
+            self.conns_active.fetch_sub(1, Ordering::Relaxed);
+            self.conns_rejected.fetch_add(1, Ordering::Relaxed);
+            false
+        } else {
+            self.conns_total.fetch_add(1, Ordering::Relaxed);
+            true
+        }
     }
 
-    /// A connection handler finished.
+    /// A connection handler finished. Saturates at zero: a mismatched
+    /// close (a bug, but one that must not poison `STATS`) leaves
+    /// `conns_active` at 0 instead of wrapping to 2⁶⁴−1.
     pub(crate) fn conn_closed(&self) {
-        self.conns_active.fetch_sub(1, Ordering::Relaxed);
-    }
-
-    /// A connection was turned away at the capacity limit.
-    pub(crate) fn conn_rejected(&self) {
-        self.conns_rejected.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.conns_active.load(Ordering::Relaxed);
+        while cur > 0 {
+            match self.conns_active.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
     }
 
     /// One request completed. `command` is a protocol command name,
@@ -107,11 +132,22 @@ impl ServerMetrics {
     }
 
     /// A request that failed before it could be attributed to any
-    /// command (parse error, oversized line, timeout notice).
-    pub(crate) fn record_malformed(&self, micros: u64) {
+    /// command (parse error, oversized line, idle-timeout eviction).
+    ///
+    /// Counts into `requests`, `errors`, and the dedicated `malformed`
+    /// counter — so `requests == Σ per_command + malformed` holds by
+    /// construction. `micros` is `Some` only when a request line was
+    /// actually read and timed (parse errors); timeout and oversize
+    /// events pass `None` and contribute **no** latency sample — the
+    /// old code recorded them as fabricated 0µs samples that dragged
+    /// p50 down.
+    pub(crate) fn record_malformed(&self, micros: Option<u64>) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.errors.fetch_add(1, Ordering::Relaxed);
-        self.latency[Self::bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+        self.malformed.fetch_add(1, Ordering::Relaxed);
+        if let Some(us) = micros {
+            self.latency[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn bucket_of(micros: u64) -> usize {
@@ -132,6 +168,7 @@ impl ServerMetrics {
             conns_rejected: self.conns_rejected.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
             per_command: COMMAND_NAMES
                 .iter()
                 .zip(&self.per_command)
@@ -179,10 +216,14 @@ pub struct MetricsSnapshot {
     pub conns_active: u64,
     /// Connections turned away at the `max_conns` limit.
     pub conns_rejected: u64,
-    /// Requests handled (including malformed ones).
+    /// Requests handled. Invariant (held by construction):
+    /// `requests == Σ per_command + malformed`.
     pub requests: u64,
-    /// Requests answered with an `ERR` line.
+    /// Requests answered with an `ERR` line (malformed ones included).
     pub errors: u64,
+    /// Requests that could not be attributed to any command: parse
+    /// errors, oversized lines, idle-timeout evictions.
+    pub malformed: u64,
     /// Requests per protocol command, `(name, count)` in fixed
     /// protocol order (`topk`, `link`, `info`, `stats`, `reload`,
     /// `quit`, `shutdown`).
@@ -201,13 +242,14 @@ impl MetricsSnapshot {
     pub fn to_stats_block(&self) -> String {
         let mut out = format!(
             "OK STATS uptime_ms={} conns_total={} conns_active={} conns_rejected={} \
-             requests={} errors={}",
+             requests={} errors={} malformed={}",
             self.uptime_ms,
             self.conns_total,
             self.conns_active,
             self.conns_rejected,
             self.requests,
-            self.errors
+            self.errors,
+            self.malformed
         );
         for &(name, count) in &self.per_command {
             out.push_str(&format!(" {name}={count}"));
@@ -228,26 +270,116 @@ mod tests {
     #[test]
     fn counters_accumulate_and_snapshot() {
         let m = ServerMetrics::new();
-        assert_eq!(m.conn_opened(), 1);
-        assert_eq!(m.conn_opened(), 2);
+        assert!(m.try_accept(2));
+        assert!(m.try_accept(2));
         m.conn_closed();
-        m.conn_rejected();
+        assert!(m.try_accept(2)); // the freed slot is reusable
+        assert!(!m.try_accept(2)); // over the bound: rejected
         m.record_request("TOPK", 12, Some(1), true);
         m.record_request("TOPK", 700, Some(2), true);
         m.record_request("LINK", 3, Some(2), true);
         m.record_request("RELOAD", 9000, None, false);
-        m.record_malformed(1);
+        m.record_malformed(Some(1));
         let s = m.snapshot();
-        assert_eq!(s.conns_total, 2);
-        assert_eq!(s.conns_active, 1);
+        assert_eq!(
+            s.conns_total, 3,
+            "rejected conns must not count as accepted"
+        );
+        assert_eq!(s.conns_active, 2);
         assert_eq!(s.conns_rejected, 1);
         assert_eq!(s.requests, 5);
         assert_eq!(s.errors, 2);
+        assert_eq!(s.malformed, 1);
         assert_eq!(s.per_command[command_index("topk")], ("topk", 2));
         assert_eq!(s.per_command[command_index("link")], ("link", 1));
         assert_eq!(s.per_command[command_index("reload")], ("reload", 1));
         assert_eq!(s.generation_hits, vec![(1, 1), (2, 2)]);
         assert!(s.p50_us > 0 && s.p99_us >= s.p50_us);
+    }
+
+    #[test]
+    fn requests_equal_per_command_plus_malformed() {
+        // The STATS invariant the server relies on, exercised across
+        // every recording path (attributed, parse error, unattributed
+        // timeout/oversize with no latency sample).
+        let m = ServerMetrics::new();
+        m.record_request("TOPK", 10, Some(1), true);
+        m.record_request("STATS", 5, None, true);
+        m.record_malformed(Some(2)); // parse error: timed
+        m.record_malformed(None); // idle timeout: no sample
+        m.record_malformed(None); // oversized line: no sample
+        let s = m.snapshot();
+        let per_command_sum: u64 = s.per_command.iter().map(|&(_, c)| c).sum();
+        assert_eq!(s.requests, per_command_sum + s.malformed);
+        assert_eq!(s.malformed, 3);
+    }
+
+    #[test]
+    fn unattributed_malformed_events_record_no_latency_sample() {
+        // Regression: timeout/oversize used to inject fake 0µs samples
+        // that dragged p50 toward zero. Now they leave the histogram
+        // untouched.
+        let m = ServerMetrics::new();
+        for _ in 0..100 {
+            m.record_malformed(None);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.malformed, 100);
+        assert_eq!(s.p50_us, 0, "no samples means p50 stays 0");
+        // Real samples are unaffected by interleaved timeouts.
+        m.record_request("TOPK", 1000, None, true);
+        m.record_malformed(None);
+        let s = m.snapshot();
+        assert!(s.p50_us >= 1000, "p50={} dragged down", s.p50_us);
+    }
+
+    #[test]
+    fn conn_closed_saturates_at_zero() {
+        let m = ServerMetrics::new();
+        m.conn_closed(); // mismatched close on a fresh server
+        assert_eq!(m.snapshot().conns_active, 0, "must not wrap to 2^64-1");
+        assert!(m.try_accept(1));
+        m.conn_closed();
+        m.conn_closed(); // double close
+        let s = m.snapshot();
+        assert_eq!(s.conns_active, 0);
+        assert_eq!(s.conns_total, 1);
+    }
+
+    #[test]
+    fn bucket_of_boundaries() {
+        // Bucket i holds [2^(i-1), 2^i) µs; bucket 0 is sub-µs.
+        assert_eq!(ServerMetrics::bucket_of(0), 0);
+        assert_eq!(ServerMetrics::bucket_of(1), 1);
+        for k in 0..38u32 {
+            let v = 1u64 << k;
+            assert_eq!(
+                ServerMetrics::bucket_of(v),
+                (k as usize + 1).min(LATENCY_BUCKETS - 1),
+                "2^{k}"
+            );
+            if v > 1 {
+                assert_eq!(ServerMetrics::bucket_of(v - 1), k as usize, "2^{k}-1");
+            }
+        }
+        // Everything at or beyond the top bucket saturates there.
+        assert_eq!(ServerMetrics::bucket_of(1u64 << 62), LATENCY_BUCKETS - 1);
+        assert_eq!(ServerMetrics::bucket_of(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantile_boundary_samples() {
+        // 0µs and 1µs land in distinguishable buckets; u64::MAX lands
+        // in (and reports) the saturated top bucket instead of
+        // overflowing the shift.
+        let m = ServerMetrics::new();
+        m.record_request("INFO", 0, None, true);
+        assert_eq!(m.snapshot().p50_us, 1, "bucket 0 reports 1µs upper bound");
+        let m = ServerMetrics::new();
+        m.record_request("INFO", u64::MAX, None, true);
+        let s = m.snapshot();
+        assert_eq!(s.p50_us, 1u64 << (LATENCY_BUCKETS - 1));
+        assert_eq!(s.p99_us, s.p50_us);
     }
 
     #[test]

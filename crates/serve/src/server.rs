@@ -174,11 +174,8 @@ impl Server {
             while !shutdown_ref.load(Ordering::Acquire) {
                 match listener.accept() {
                     Ok((stream, _peer)) => {
-                        let active = metrics_ref.conn_opened();
-                        if active > config.max_conns as u64 {
-                            metrics_ref.conn_rejected();
+                        if !metrics_ref.try_accept(config.max_conns as u64) {
                             reject_at_capacity(stream, config);
-                            metrics_ref.conn_closed();
                             continue;
                         }
                         scope.spawn(move || {
@@ -324,7 +321,7 @@ fn handle_connection(
                 let req = match parsed {
                     Ok(req) => req,
                     Err(msg) => {
-                        metrics.record_malformed(t0.elapsed().as_micros() as u64);
+                        metrics.record_malformed(Some(t0.elapsed().as_micros() as u64));
                         if stream
                             .write_all(protocol::err_line(400, &msg).as_bytes())
                             .is_err()
@@ -355,14 +352,16 @@ fn handle_connection(
             }
             Ok(LineEvent::Eof) | Ok(LineEvent::ShuttingDown) | Err(_) => return,
             Ok(LineEvent::IdleTimeout) => {
-                metrics.record_malformed(0);
+                // Unattributed (no request line was read): counted in
+                // `malformed`, no fabricated latency sample.
+                metrics.record_malformed(None);
                 stream
                     .write_all(protocol::err_line(408, "idle timeout").as_bytes())
                     .ok();
                 return;
             }
             Ok(LineEvent::TooLong) => {
-                metrics.record_malformed(0);
+                metrics.record_malformed(None);
                 stream
                     .write_all(
                         protocol::err_line(
@@ -569,10 +568,19 @@ mod tests {
 
     #[test]
     fn capacity_bound_rejects_with_503() {
-        let (addr, handle, join) = start(ServerConfig {
-            max_conns: 1,
-            ..ServerConfig::default()
-        });
+        let server = Server::bind(
+            "127.0.0.1:0",
+            tiny_serving(),
+            ServerConfig {
+                max_conns: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.shutdown_handle();
+        let metrics = server.metrics();
+        let join = std::thread::spawn(move || server.run().unwrap());
         let first = TcpStream::connect(addr).unwrap();
         let mut r1 = std::io::BufReader::new(first.try_clone().unwrap());
         let mut line = String::new();
@@ -587,5 +595,15 @@ mod tests {
         handle.shutdown();
         let report = join.join().unwrap();
         assert_eq!(report.rejected, 1);
+        // "Connections accepted over the server lifetime" means exactly
+        // that: the rejected connection must not inflate the count.
+        assert_eq!(
+            report.connections, 1,
+            "a 503-rejected connection was counted as accepted"
+        );
+        let s = metrics.snapshot();
+        assert_eq!(s.conns_total, 1);
+        assert_eq!(s.conns_rejected, 1);
+        assert_eq!(s.conns_active, 0, "all accepted connections drained");
     }
 }

@@ -116,16 +116,15 @@ pub(crate) fn sigmoid(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
 }
 
-/// f32 dot product with a fixed left-to-right accumulation order (part
-/// of the bit-for-bit query reproducibility contract).
+/// f32 dot product with a fixed canonical accumulation order (part of
+/// the bit-for-bit query reproducibility contract). Delegates to the
+/// lane-structured [`sp_linalg::vector::dot_f32`] kernel: every score
+/// in this crate — exact oracle, IVF rerank, TCP front-end — routes
+/// through this one function, so all paths see the identical order.
 #[inline]
 pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let mut s = 0.0f32;
-    for (x, y) in a.iter().zip(b) {
-        s += x * y;
-    }
-    s
+    sp_linalg::vector::dot_f32(a, b)
 }
 
 /// The published embedding matrices, resident in memory, plus their

@@ -117,8 +117,16 @@ const GOLDEN_DW: (usize, u64) = (1242, 0x838f656cef350957);
 const GOLDEN_DEG_LEN: usize = 114;
 const GOLDEN_DEG_HASH: u64 = 0xcf60a6f040830e5a;
 const GOLDEN_DEG_MIN_BITS: u64 = 0x3fbde27703a412ea;
-const GOLDEN_TRAIN_W_IN: u64 = 0xab7ffb01fdb6fe27;
-const GOLDEN_TRAIN_W_OUT: u64 = 0x96127eecab336a3f;
+// W_IN/W_OUT were re-pinned once when `sp_linalg::vector` moved to
+// lane-shaped reduction kernels (4 accumulators, fixed tree fold):
+// dot/norm2_sq now sum in a different — still deterministic —
+// canonical order, which shifts trained weights by a few ulps per
+// element (sampled elementwise deltas <= 4 ulps vs the previous
+// left-to-right order; elementwise kernels axpy/scale are
+// bit-identical, so the drift enters only through dot-product scores
+// and clip norms). STEPS and EPS are order-independent and unchanged.
+const GOLDEN_TRAIN_W_IN: u64 = 0x6e0f64f99a8125eb;
+const GOLDEN_TRAIN_W_OUT: u64 = 0x351e270431e0a7f6;
 const GOLDEN_TRAIN_STEPS: u64 = 6;
 const GOLDEN_TRAIN_EPS_BITS: u64 = 0x4003c53506d06d1a;
 // Pinned at introduction of the seeded corpus (threads=1 == threads=4

@@ -12,7 +12,7 @@ use rand::SeedableRng;
 use se_privgemb_suite::model::{ModelFile, Provenance};
 use se_privgemb_suite::serve::{
     synthetic, EmbeddingStore, IvfConfig, IvfIndex, ServeClient, Server, ServerConfig,
-    ServingStore, ShutdownHandle,
+    ServerMetrics, ServingStore, ShutdownHandle,
 };
 use se_privgemb_suite::skipgram::SkipGramModel;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -39,7 +39,8 @@ fn temp_dir(tag: &str) -> PathBuf {
 }
 
 /// Binds a server on an ephemeral loopback port and runs it on its own
-/// thread; the join handle yields the drain report.
+/// thread; the join handle yields the drain report, and the metrics
+/// handle lets tests assert the STATS accounting invariants.
 fn start(
     config: ServerConfig,
     serving: Arc<ServingStore>,
@@ -47,12 +48,26 @@ fn start(
     SocketAddr,
     ShutdownHandle,
     std::thread::JoinHandle<se_privgemb_suite::serve::ServerReport>,
+    Arc<ServerMetrics>,
 ) {
     let server = Server::bind("127.0.0.1:0", serving, config).unwrap();
     let addr = server.local_addr().unwrap();
     let handle = server.shutdown_handle();
+    let metrics = server.metrics();
     let join = std::thread::spawn(move || server.run().unwrap());
-    (addr, handle, join)
+    (addr, handle, join, metrics)
+}
+
+/// Asserts the STATS accounting invariant that holds by construction:
+/// every counted request is either a parsed command or malformed.
+fn assert_stats_invariant(metrics: &ServerMetrics) {
+    let s = metrics.snapshot();
+    let per_command_sum: u64 = s.per_command.iter().map(|&(_, c)| c).sum();
+    assert_eq!(
+        s.requests,
+        per_command_sum + s.malformed,
+        "requests != sum(per_command) + malformed: {s:?}"
+    );
 }
 
 /// A raw protocol-violating connection: greeting consumed, everything
@@ -92,7 +107,7 @@ fn tcp_answers_are_bit_identical_to_in_process() {
             )
         });
         let serving = Arc::new(ServingStore::new(store(), index));
-        let (addr, handle, join) = start(ServerConfig::default(), Arc::clone(&serving));
+        let (addr, handle, join, _metrics) = start(ServerConfig::default(), Arc::clone(&serving));
 
         let mut client = ServeClient::connect(addr).unwrap();
         let snapshot = serving.snapshot();
@@ -140,7 +155,7 @@ fn malformed_input_never_kills_the_server() {
         max_line_bytes: 128,
         ..ServerConfig::default()
     };
-    let (addr, handle, join) = start(config, serving);
+    let (addr, handle, join, metrics) = start(config, serving);
 
     // Unknown command → ERR 400, connection stays usable.
     {
@@ -212,7 +227,19 @@ fn malformed_input_never_kills_the_server() {
     assert_eq!(answer.len(), 5);
     client.quit().unwrap();
     handle.shutdown();
-    join.join().unwrap();
+    let report = join.join().unwrap();
+
+    // Accounting after the barrage: every request above is either a
+    // parsed command or malformed — never both, never dropped.
+    // Malformed: FROB, binary garbage, the oversized line, and the
+    // four bad-argument shapes that fail `Request::parse` (TOPK abc 5,
+    // TOPK 0, LINK 0, TOPK 0 0). The 404s and the RELOAD parsed fine —
+    // they are command errors, counted under their command.
+    assert_stats_invariant(&metrics);
+    let s = metrics.snapshot();
+    assert_eq!(s.malformed, 7, "malformed census changed: {s:?}");
+    assert_eq!(s.requests, report.requests);
+    assert_eq!(s.conns_rejected, 0, "nothing hit the capacity bound");
 }
 
 #[test]
@@ -222,7 +249,7 @@ fn idle_connection_times_out_with_408() {
         read_timeout: Duration::from_millis(200),
         ..ServerConfig::default()
     };
-    let (addr, handle, join) = start(config, serving);
+    let (addr, handle, join, metrics) = start(config, serving);
 
     let (_stream, mut reader) = raw_conn(addr);
     // Say nothing: the server must evict us with ERR 408, then close.
@@ -234,6 +261,19 @@ fn idle_connection_times_out_with_408() {
 
     handle.shutdown();
     join.join().unwrap();
+
+    // The eviction is counted as a malformed request, but since no
+    // request line was ever read there is nothing to time — the
+    // latency histogram must stay empty rather than absorb a
+    // fabricated 0µs sample that would drag p50 to the floor.
+    assert_stats_invariant(&metrics);
+    let s = metrics.snapshot();
+    assert_eq!(s.malformed, 1, "{s:?}");
+    assert_eq!(s.requests, 1, "{s:?}");
+    assert_eq!(
+        s.p50_us, 0,
+        "timeout eviction must not fabricate latency samples: {s:?}"
+    );
 }
 
 fn write_model(path: &std::path::Path, seed: u64) -> ModelFile {
@@ -255,7 +295,7 @@ fn reload_swaps_complete_generations_and_rejects_torn_files() {
         model_path: Some(path.clone()),
         ..ServerConfig::default()
     };
-    let (addr, handle, join) = start(config, Arc::clone(&serving));
+    let (addr, handle, join, _metrics) = start(config, Arc::clone(&serving));
 
     let mut client = ServeClient::connect(addr).unwrap();
 
@@ -318,7 +358,7 @@ fn reload_swaps_complete_generations_and_rejects_torn_files() {
 #[test]
 fn shutdown_drains_and_refuses_new_connections() {
     let serving = Arc::new(ServingStore::new(store(), None));
-    let (addr, _handle, join) = start(ServerConfig::default(), serving);
+    let (addr, _handle, join, _metrics) = start(ServerConfig::default(), serving);
 
     // An idle bystander connection is open when SHUTDOWN arrives.
     let (_bystander, mut bystander_reader) = raw_conn(addr);
