@@ -1,0 +1,557 @@
+//! Out-of-core pipeline scale bench + CI memory-regression gate.
+//!
+//! Drives the blocked/streaming execution path end to end on a
+//! synthetic bounded-degree graph: streamed CSR ingestion
+//! ([`StreamingCsr`]), row-banded proximity
+//! ([`EdgeProximity::compute_blocked`]), a chunked two-pass
+//! [`AliasTableBuilder`] over the edge weights (the Alg. 1
+//! structure-preference sampling table, built without holding P), and
+//! the edge-sharded trainer (`subgraph_shard_edges`) with a per-shard
+//! RDP accountant composition check. Every resident and transient
+//! buffer is byte-accounted through one [`MemTracker`] — the
+//! "self-tracked peak RSS" reported here, chosen over `/proc` because
+//! the container makes no `/proc` guarantees and byte accounting is
+//! deterministic enough to gate in CI.
+//!
+//! Modes:
+//! - `--smoke` (CI): a small graph; additionally runs the materialised
+//!   path and **asserts bit-identity** (proximity weights, trained
+//!   embeddings, alias buckets, accountant state) plus the RSS budget,
+//!   exiting non-zero on any violation.
+//! - default (full): a 1.25M-node graph under a 4 GB budget the
+//!   materialised path provably cannot meet (its P matrix alone is
+//!   ~12 GB); the materialised side is a len-based byte estimate, not
+//!   an allocation.
+//!
+//! Flags / env:
+//! - `--out <path>`: JSON summary path (default `BENCH_scale.json`).
+//! - `--baseline <tsv>`: gate the deterministic byte metrics against
+//!   this committed baseline (`crates/bench/results/scale.tsv`).
+//! - `--budget-bytes <n>`: RSS budget (default 64 MiB smoke, 4 GiB
+//!   full).
+//! - `--band-rows <n>` / `--shard-edges <n>`: blocked-path granularity.
+//! - `SP_BENCH_GATE_TOLERANCE`: fractional gate tolerance
+//!   (default `0.15`).
+//! - `SP_RESULTS_DIR`: where `scale.tsv` lands.
+
+use sp_bench::harness::write_tsv;
+use sp_bench::scale::{
+    compare_scale, parse_scale_tsv, ScaleGateOutcome, ScaleRow, SCALE_TSV_HEADER,
+};
+use sp_dp::RdpAccountant;
+use sp_graph::{Graph, StreamingCsr};
+use sp_mem::MemTracker;
+use sp_proximity::band::WedgeBander;
+use sp_proximity::{EdgeProximity, ProximityKind};
+use sp_skipgram::{
+    AliasTable, AliasTableBuilder, NegativeSampling, PerturbStrategy, Subgraph, TrainConfig,
+    Trainer,
+};
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Chunk height (weights per pass) of the streamed alias build.
+const ALIAS_CHUNK: usize = 65_536;
+/// Shards of the per-shard RDP composition demonstration.
+const RDP_SHARDS: usize = 8;
+
+/// One scale-bench scenario.
+struct Scenario {
+    label: &'static str,
+    nodes: usize,
+    /// Chord strides per node on top of the ring (degree ≈ 2·(1+chords)).
+    chords: usize,
+    dim: usize,
+    batch_size: usize,
+    band_rows: usize,
+    shard_edges: usize,
+    budget_bytes: u64,
+    /// Run the materialised path too and assert bit-identity.
+    verify_materialised: bool,
+}
+
+impl Scenario {
+    fn smoke() -> Self {
+        Self {
+            label: "smoke",
+            nodes: 60_000,
+            chords: 7,
+            dim: 8,
+            batch_size: 128,
+            band_rows: 1024,
+            shard_edges: 4096,
+            budget_bytes: 64 << 20,
+            verify_materialised: true,
+        }
+    }
+
+    fn full() -> Self {
+        Self {
+            label: "full",
+            nodes: 1_250_000,
+            chords: 15,
+            dim: 16,
+            batch_size: 256,
+            band_rows: 4096,
+            shard_edges: 1 << 20,
+            budget_bytes: 4 << 30,
+            verify_materialised: false,
+        }
+    }
+
+    fn train_config(&self, shard: Option<usize>) -> TrainConfig {
+        TrainConfig {
+            dim: self.dim,
+            negatives: 3,
+            batch_size: self.batch_size,
+            learning_rate: 0.1,
+            clip: 1.0,
+            sigma: 5.0,
+            epsilon: 2.0,
+            delta: 1e-5,
+            epochs: 1,
+            strategy: PerturbStrategy::NonZero,
+            negative_sampling: NegativeSampling::DegreeProportional,
+            seed: 0x5CA1E,
+            threads: None,
+            subgraph_shard_edges: shard,
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut sc = if argv.iter().any(|a| a == "--smoke") {
+        Scenario::smoke()
+    } else {
+        Scenario::full()
+    };
+    if let Some(v) = flag_value(&argv, "--budget-bytes") {
+        sc.budget_bytes = v.parse().expect("--budget-bytes: not a byte count");
+    }
+    if let Some(v) = flag_value(&argv, "--band-rows") {
+        sc.band_rows = v.parse().expect("--band-rows: not a row count");
+    }
+    if let Some(v) = flag_value(&argv, "--shard-edges") {
+        sc.shard_edges = v.parse().expect("--shard-edges: not an edge count");
+    }
+    let out_path = flag_value(&argv, "--out").unwrap_or_else(|| "BENCH_scale.json".to_string());
+    let baseline_path = flag_value(&argv, "--baseline");
+    let tolerance = std::env::var("SP_BENCH_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.15);
+
+    println!(
+        "=== sp_scale_bench [{}]: {} nodes, budget {} MiB, band_rows={}, shard_edges={} ===",
+        sc.label,
+        sc.nodes,
+        sc.budget_bytes >> 20,
+        sc.band_rows,
+        sc.shard_edges
+    );
+
+    let mut failures: Vec<String> = Vec::new();
+    let tracker = MemTracker::shared();
+    let t_start = Instant::now();
+
+    // --- 1. Streamed ingestion: edges arrive one at a time. ---
+    let t0 = Instant::now();
+    let g = synthetic_graph(sc.nodes, sc.chords, Some(Arc::clone(&tracker)));
+    let ingest_ms = t0.elapsed().as_millis();
+    let graph_bytes = g.heap_bytes();
+    println!(
+        "[ingest] {} nodes, {} edges, {:.1} MiB resident, {} ms",
+        g.num_nodes(),
+        g.num_edges(),
+        mib(graph_bytes),
+        ingest_ms
+    );
+
+    // --- 2. Materialised-path size (len-based, no allocation). ---
+    let t0 = Instant::now();
+    let (p_nnz, band_peak_bytes) = banded_nnz(&g, sc.band_rows);
+    let materialized_p_bytes = (p_nnz * (8 + 4) + (g.num_nodes() + 1) * 8) as u64;
+    let materialized_gs_bytes = (g.num_edges() * (std::mem::size_of::<Subgraph>() + 3 * 4)) as u64;
+    println!(
+        "[estimate] P nnz {} -> materialised P {:.1} MiB, G_S {:.1} MiB ({} ms)",
+        p_nnz,
+        mib(materialized_p_bytes),
+        mib(materialized_gs_bytes),
+        t0.elapsed().as_millis()
+    );
+
+    // --- 3. Row-banded proximity under the tracker. ---
+    let t0 = Instant::now();
+    tracker.add((g.num_edges() * 8) as u64); // the weights vector
+    let prox = EdgeProximity::compute_blocked(
+        &g,
+        ProximityKind::CommonNeighbors,
+        sc.band_rows,
+        None,
+        Some(&tracker),
+    );
+    let proximity_ms = t0.elapsed().as_millis();
+    let weights_bytes = (prox.len() * 8) as u64;
+    println!(
+        "[proximity] {} edge weights in {} ms (bands of {} rows)",
+        prox.len(),
+        proximity_ms,
+        sc.band_rows
+    );
+
+    // --- 4. Streamed alias table over the edge weights (Alg. 1's
+    //        structure-preference sampling table, built band-wise). ---
+    let t0 = Instant::now();
+    let mut builder = AliasTableBuilder::new();
+    for chunk in prox.weights.chunks(ALIAS_CHUNK) {
+        builder.push_mass(chunk);
+    }
+    for chunk in prox.weights.chunks(ALIAS_CHUNK) {
+        builder.push_fill(chunk);
+    }
+    let alias = builder.finish();
+    let alias_bytes = (alias.len() * (8 + 4)) as u64;
+    tracker.add(alias_bytes);
+    let alias_ms = t0.elapsed().as_millis();
+    println!(
+        "[alias] {} outcomes in {} ms, {:.1} MiB",
+        alias.len(),
+        alias_ms,
+        mib(alias_bytes)
+    );
+
+    // --- 5. Edge-sharded training (on-demand subgraph regeneration). ---
+    let t0 = Instant::now();
+    let trainer_resident_bytes = (4 * g.num_nodes() * sc.dim * 8 + 2 * g.num_nodes()) as u64;
+    tracker.add(trainer_resident_bytes);
+    let cfg = sc.train_config(Some(sc.shard_edges));
+    let (model, report) = Trainer::new(cfg.clone()).train(&g, &prox);
+    let train_ms = t0.elapsed().as_millis();
+    println!(
+        "[train] {} steps, {} epochs, eps {:.4}, {} ms",
+        report.steps_run, report.epochs_run, report.epsilon_spent, train_ms
+    );
+
+    let blocked_peak_bytes = tracker.peak();
+    let wall_ns = t_start.elapsed().as_nanos() as u64;
+    let bytes_per_edge = blocked_peak_bytes as f64 / g.num_edges() as f64;
+    let materialized_peak_bytes = blocked_peak_bytes + materialized_p_bytes + materialized_gs_bytes;
+    println!(
+        "[rss] blocked peak {:.1} MiB ({:.1} bytes/edge); materialised path needs \
+         >= {:.1} MiB; budget {:.1} MiB",
+        mib(blocked_peak_bytes),
+        bytes_per_edge,
+        mib(materialized_peak_bytes),
+        mib(sc.budget_bytes)
+    );
+
+    // --- 6. Budget assertions. ---
+    if blocked_peak_bytes > sc.budget_bytes {
+        failures.push(format!(
+            "blocked peak {} bytes exceeds the {} byte budget",
+            blocked_peak_bytes, sc.budget_bytes
+        ));
+    }
+    if materialized_peak_bytes <= sc.budget_bytes {
+        failures.push(format!(
+            "materialised estimate {} bytes fits the {} byte budget — the scenario \
+             no longer demonstrates the out-of-core path",
+            materialized_peak_bytes, sc.budget_bytes
+        ));
+    }
+
+    // --- 7. Per-shard RDP accountant composition. ---
+    let gamma = (cfg.batch_size.min(g.num_edges()) as f64 / g.num_edges() as f64).min(1.0);
+    let (eps_mono, eps_sharded) = sharded_epsilon(gamma, cfg.sigma, cfg.delta, report.steps_run);
+    println!(
+        "[rdp] monolithic eps {:.9} vs {}-shard composed eps {:.9}",
+        eps_mono, RDP_SHARDS, eps_sharded
+    );
+    if (eps_mono - eps_sharded).abs() > 1e-9 {
+        failures.push(format!(
+            "sharded RDP composition diverged: {eps_mono} vs {eps_sharded}"
+        ));
+    }
+
+    // --- 8. Smoke: the materialised path, bit-for-bit. ---
+    let mut identity_checked = false;
+    if sc.verify_materialised {
+        identity_checked = true;
+        let t0 = Instant::now();
+        let mat_prox = EdgeProximity::compute_threads(&g, ProximityKind::CommonNeighbors, None);
+        if !bits_equal(&mat_prox.weights, &prox.weights)
+            || mat_prox.min_positive.to_bits() != prox.min_positive.to_bits()
+        {
+            failures.push("blocked proximity diverged from materialised".to_string());
+        }
+        let mat_alias = AliasTable::new(&prox.weights);
+        if mat_alias.buckets().0 != alias.buckets().0 || mat_alias.buckets().1 != alias.buckets().1
+        {
+            failures.push("streamed alias table diverged from materialised".to_string());
+        }
+        let (mat_model, mat_report) = Trainer::new(sc.train_config(None)).train(&g, &prox);
+        if !bits_equal(mat_model.w_in.as_slice(), model.w_in.as_slice())
+            || !bits_equal(mat_model.w_out.as_slice(), model.w_out.as_slice())
+            || mat_report.steps_run != report.steps_run
+            || mat_report.epsilon_spent.to_bits() != report.epsilon_spent.to_bits()
+        {
+            failures.push("sharded training diverged from materialised".to_string());
+        }
+        println!(
+            "[identity] materialised path re-run in {} ms: {}",
+            t0.elapsed().as_millis(),
+            if failures.is_empty() {
+                "bit-identical"
+            } else {
+                "DIVERGED"
+            }
+        );
+    }
+
+    // --- 9. Artefacts: scale.tsv + BENCH_scale.json. ---
+    let rows = vec![
+        count_row("nodes", g.num_nodes()),
+        count_row("edges", g.num_edges()),
+        count_row("p_nnz", p_nnz),
+        bytes_row("graph_bytes", graph_bytes),
+        bytes_row("weights_bytes", weights_bytes),
+        bytes_row("alias_bytes", alias_bytes),
+        bytes_row("trainer_resident_bytes", trainer_resident_bytes),
+        bytes_row("band_peak_bytes", band_peak_bytes),
+        bytes_row("blocked_peak_bytes", blocked_peak_bytes),
+        ScaleRow {
+            metric: "bytes_per_edge".to_string(),
+            unit: "bytes".to_string(),
+            value: bytes_per_edge,
+        },
+        bytes_row("materialized_p_bytes", materialized_p_bytes),
+        bytes_row("materialized_gs_bytes", materialized_gs_bytes),
+        bytes_row("materialized_peak_bytes", materialized_peak_bytes),
+        ScaleRow {
+            metric: "wall_ns".to_string(),
+            unit: "ns".to_string(),
+            value: wall_ns as f64,
+        },
+    ];
+    let tsv_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.metric.clone(), r.unit.clone(), format!("{}", r.value)])
+        .collect();
+    write_tsv("scale", &SCALE_TSV_HEADER, &tsv_rows);
+    write_json(
+        &out_path,
+        &sc,
+        &rows,
+        &report,
+        eps_mono,
+        eps_sharded,
+        identity_checked,
+        failures.is_empty(),
+    );
+
+    // --- 10. Gate against the committed baseline. ---
+    if let Some(path) = baseline_path {
+        match std::fs::read_to_string(&path).map_err(|e| e.to_string()) {
+            Ok(text) => match parse_scale_tsv(&text) {
+                Ok(baseline) => {
+                    let outcome = compare_scale(&baseline, &rows, tolerance);
+                    report_gate(&outcome, tolerance);
+                    if !outcome.pass() {
+                        failures.push("memory baseline gate failed".to_string());
+                    }
+                }
+                Err(e) => failures.push(format!("cannot parse baseline {path}: {e}")),
+            },
+            Err(e) => failures.push(format!("cannot read baseline {path}: {e}")),
+        }
+    }
+
+    if failures.is_empty() {
+        println!("[scale] PASS");
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn flag_value(argv: &[String], flag: &str) -> Option<String> {
+    argv.iter()
+        .position(|a| a == flag)
+        .and_then(|i| argv.get(i + 1).cloned())
+}
+
+fn mib(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+fn bytes_row(metric: &str, bytes: u64) -> ScaleRow {
+    ScaleRow {
+        metric: metric.to_string(),
+        unit: "bytes".to_string(),
+        value: bytes as f64,
+    }
+}
+
+fn count_row(metric: &str, count: usize) -> ScaleRow {
+    ScaleRow {
+        metric: metric.to_string(),
+        unit: "count".to_string(),
+        value: count as f64,
+    }
+}
+
+fn bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Ring + chords: node `i` connects to `i+1` and to `i + stride_j`
+/// for `chords` fixed strides — bounded degree ≈ `2·(1 + chords)`,
+/// deterministic, and generated edge-by-edge so ingestion is a true
+/// stream (no edge list ever materialises outside the builder).
+fn synthetic_graph(n: usize, chords: usize, tracker: Option<Arc<MemTracker>>) -> Graph {
+    let mut csr = match tracker {
+        Some(t) => StreamingCsr::with_tracker(n, t),
+        None => StreamingCsr::new(n),
+    };
+    let strides: Vec<usize> = (1..=chords)
+        .map(|j| ((j * n) / (chords + 3)).max(2) + j)
+        .collect();
+    for i in 0..n {
+        csr.push(i as u32, ((i + 1) % n) as u32);
+        for &s in &strides {
+            csr.push(i as u32, ((i + s) % n) as u32);
+        }
+    }
+    csr.finish()
+}
+
+/// Sweeps the common-neighbour row bands once without keeping any of
+/// them: returns the total nnz the materialised P would hold and the
+/// largest single band's heap footprint (the blocked path's transient
+/// high-water mark for this band height).
+fn banded_nnz(g: &Graph, band_rows: usize) -> (usize, u64) {
+    let bander = WedgeBander::new(g, ProximityKind::CommonNeighbors)
+        .expect("common neighbours is a wedge measure");
+    let n = bander.rows();
+    let mut nnz = 0usize;
+    let mut peak = 0u64;
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + band_rows).min(n);
+        let block = bander.band(start..end, None);
+        nnz += block.indices.len();
+        peak = peak.max(block.heap_bytes());
+        start = end;
+    }
+    (nnz, peak)
+}
+
+/// Composes `RDP_SHARDS` per-shard accountants over a fixed-order
+/// partition of the step count and returns
+/// `(monolithic ε, composed ε)` at `delta`.
+fn sharded_epsilon(gamma: f64, sigma: f64, delta: f64, steps: u64) -> (f64, f64) {
+    let mut mono = RdpAccountant::new(64);
+    mono.step_many(gamma, sigma, steps);
+    let base = steps / RDP_SHARDS as u64;
+    let extra = steps % RDP_SHARDS as u64;
+    let shards: Vec<RdpAccountant> = (0..RDP_SHARDS as u64)
+        .map(|i| {
+            let mut a = RdpAccountant::new(64);
+            a.step_many(gamma, sigma, base + u64::from(i < extra));
+            a
+        })
+        .collect();
+    let composed = RdpAccountant::compose(&shards);
+    (mono.epsilon(delta).0, composed.epsilon(delta).0)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    path: &str,
+    sc: &Scenario,
+    rows: &[ScaleRow],
+    report: &sp_skipgram::TrainReport,
+    eps_mono: f64,
+    eps_sharded: f64,
+    identity_checked: bool,
+    pass: bool,
+) {
+    let mut metrics = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            metrics.push_str(",\n");
+        }
+        metrics.push_str(&format!(
+            "    {{\"metric\": \"{}\", \"unit\": \"{}\", \"value\": {}}}",
+            r.metric, r.unit, r.value
+        ));
+    }
+    let json = format!(
+        r#"{{
+  "bench": "sp_scale_bench",
+  "mode": "{label}",
+  "config": {{
+    "nodes": {nodes},
+    "chords": {chords},
+    "dim": {dim},
+    "batch_size": {batch},
+    "band_rows": {band_rows},
+    "shard_edges": {shard_edges},
+    "budget_bytes": {budget}
+  }},
+  "train": {{
+    "steps_run": {steps},
+    "epochs_run": {epochs},
+    "epsilon_spent": {eps}
+  }},
+  "rdp": {{
+    "epsilon_monolithic": {eps_mono},
+    "epsilon_sharded": {eps_sharded},
+    "shards": {shards}
+  }},
+  "identity_checked": {identity_checked},
+  "pass": {pass},
+  "metrics": [
+{metrics}
+  ]
+}}
+"#,
+        label = sc.label,
+        nodes = sc.nodes,
+        chords = sc.chords,
+        dim = sc.dim,
+        batch = sc.batch_size,
+        band_rows = sc.band_rows,
+        shard_edges = sc.shard_edges,
+        budget = sc.budget_bytes,
+        steps = report.steps_run,
+        epochs = report.epochs_run,
+        eps = report.epsilon_spent,
+        shards = RDP_SHARDS,
+    );
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("[json] {path}"),
+        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+    }
+}
+
+fn report_gate(outcome: &ScaleGateOutcome, tolerance: f64) {
+    println!(
+        "[gate] compared {} byte metrics against baseline (tolerance +{:.0}%)",
+        outcome.compared,
+        100.0 * tolerance
+    );
+    for m in &outcome.missing {
+        eprintln!("FAIL: {m}");
+    }
+    for r in &outcome.regressions {
+        eprintln!("FAIL: regression: {r}");
+    }
+    if outcome.pass() {
+        println!("[gate] PASS");
+    }
+}

@@ -20,3 +20,4 @@ pub mod experiments;
 pub mod harness;
 pub mod kernels;
 pub mod methods;
+pub mod scale;

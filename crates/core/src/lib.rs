@@ -63,5 +63,6 @@ pub use sp_dp as dp;
 pub use sp_eval as eval;
 pub use sp_graph as graph;
 pub use sp_linalg as linalg;
+pub use sp_mem as mem;
 pub use sp_proximity as proximity;
 pub use sp_skipgram as skipgram;

@@ -255,11 +255,13 @@ mod tests {
         let nz = quick_builder()
             .strategy(PerturbStrategy::NonZero)
             .epochs(60)
+            .seed(11)
             .build()
             .fit(&g);
         let naive = quick_builder()
             .strategy(PerturbStrategy::Naive)
             .epochs(60)
+            .seed(11)
             .build()
             .fit(&g);
         let s_nz = struc_equ(&g, nz.embeddings(), PairSelection::All).unwrap();

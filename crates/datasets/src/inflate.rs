@@ -149,12 +149,19 @@ const fn crc32_table() -> [u32; 256] {
 
 const CRC32_TABLE: [u32; 256] = crc32_table();
 
+/// One CRC32 step over the *raw* (pre-inversion) state, for callers
+/// that checksum incrementally: seed with `!0`, feed bytes, finish
+/// with `!state`.
+pub(crate) fn crc32_step(state: u32, byte: u8) -> u32 {
+    CRC32_TABLE[((state ^ byte as u32) & 0xFF) as usize] ^ (state >> 8)
+}
+
 /// CRC32 (IEEE, reflected) of `data` — the checksum gzip stores in its
 /// trailer. Exposed so tests and writers can frame their own members.
 pub fn crc32(data: &[u8]) -> u32 {
     let mut c = !0u32;
     for &b in data {
-        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        c = crc32_step(c, b);
     }
     !c
 }
@@ -191,6 +198,25 @@ pub fn gzip_store(data: &[u8]) -> Vec<u8> {
 }
 
 // --- Bit-level input ----------------------------------------------------
+
+/// LSB-first DEFLATE bit access, abstracted so the one-shot slice
+/// decoder and the incremental [`crate::stream`] decoder share the
+/// Huffman machinery. `peek15`/`consume` are the table-decoder fast
+/// path: peek up to [`MAX_BITS`] bits without consuming (fewer only at
+/// end of input), then consume exactly the decoded code length.
+pub(crate) trait Bits {
+    /// Reads `n` bits (0..=25), LSB-first.
+    fn bits(&mut self, n: u32) -> Result<u32, InflateError>;
+    /// Reads a single bit.
+    fn bit(&mut self) -> Result<u32, InflateError> {
+        self.bits(1)
+    }
+    /// Buffers and returns up to 15 unconsumed bits plus the count
+    /// actually available (short only when the input is exhausted).
+    fn peek15(&mut self) -> (u32, u32);
+    /// Discards `n` previously peeked bits.
+    fn consume(&mut self, n: u32);
+}
 
 struct BitReader<'a> {
     data: &'a [u8],
@@ -233,7 +259,10 @@ impl<'a> BitReader<'a> {
 
     /// Discards buffered bits so the next read is byte-aligned
     /// (stored-block headers and the gzip trailer are byte-aligned).
+    /// `peek15` may have buffered whole bytes ahead of the bit cursor;
+    /// those are rewound into the slice, not discarded.
     fn align(&mut self) {
+        self.pos -= (self.bitcnt / 8) as usize;
         self.bitbuf = 0;
         self.bitcnt = 0;
     }
@@ -260,11 +289,40 @@ impl<'a> BitReader<'a> {
     }
 }
 
+impl Bits for BitReader<'_> {
+    fn bits(&mut self, n: u32) -> Result<u32, InflateError> {
+        BitReader::bits(self, n)
+    }
+
+    fn peek15(&mut self) -> (u32, u32) {
+        while self.bitcnt < MAX_BITS as u32 {
+            match self.data.get(self.pos) {
+                Some(&b) => {
+                    self.bitbuf |= (b as u32) << self.bitcnt;
+                    self.bitcnt += 8;
+                    self.pos += 1;
+                }
+                None => break,
+            }
+        }
+        (self.bitbuf, self.bitcnt)
+    }
+
+    fn consume(&mut self, n: u32) {
+        debug_assert!(n <= self.bitcnt);
+        self.bitbuf >>= n;
+        self.bitcnt -= n;
+    }
+}
+
 // --- Canonical Huffman tables -------------------------------------------
 
 /// Per-length symbol counts plus symbols in canonical order (puff.c
-/// layout): decoding walks the counts, never a dense table.
-struct Huffman {
+/// layout). This is the compact *reference* form: [`Huffman::decode`]
+/// resolves one bit at a time and is kept for the small code-length
+/// alphabet and as the behavioral oracle for [`LutHuffman`], the
+/// two-level table built from it that the block-decode hot loop uses.
+pub(crate) struct Huffman {
     count: [u16; MAX_BITS + 1],
     symbol: Vec<u16>,
 }
@@ -273,7 +331,7 @@ impl Huffman {
     /// Builds the canonical table from per-symbol code lengths
     /// (`lengths[s]` = bits for symbol `s`, 0 = unused). Rejects
     /// oversubscribed sets; incomplete sets are legal.
-    fn new(lengths: &[u8]) -> Result<Self, InflateError> {
+    pub(crate) fn new(lengths: &[u8]) -> Result<Self, InflateError> {
         let mut count = [0u16; MAX_BITS + 1];
         for &len in lengths {
             debug_assert!((len as usize) <= MAX_BITS);
@@ -305,7 +363,7 @@ impl Huffman {
     }
 
     /// Decodes one symbol, consuming 1..=15 bits.
-    fn decode(&self, br: &mut BitReader<'_>) -> Result<u16, InflateError> {
+    fn decode<B: Bits + ?Sized>(&self, br: &mut B) -> Result<u16, InflateError> {
         let mut code: u32 = 0; // code of `len` bits so far
         let mut first: u32 = 0; // first code of this length
         let mut index: usize = 0; // index of first symbol of this length
@@ -323,20 +381,149 @@ impl Huffman {
     }
 }
 
+// --- Two-level lookup-table decoder -------------------------------------
+
+/// Width of the primary lookup table in bits: one probe resolves any
+/// code of ≤ 9 bits (every code zlib emits for typical text inputs);
+/// longer codes chain through exactly one overflow subtable.
+const PRIMARY_BITS: u32 = 9;
+const PRIMARY_MASK: u32 = (1 << PRIMARY_BITS) - 1;
+/// Entry flag: this primary slot points at an overflow subtable.
+const SUB_FLAG: u32 = 1 << 31;
+
+/// Reverses the low `len` bits of `code`: canonical Huffman codes are
+/// assigned MSB-first but arrive on the wire LSB-first, so table
+/// indices are bit-reversed codes.
+fn rev(code: u32, len: u32) -> u32 {
+    code.reverse_bits() >> (32 - len)
+}
+
+/// Two-level lookup table built from a canonical [`Huffman`] code: a
+/// 512-entry primary table indexed by the next 9 wire bits, with
+/// per-prefix overflow subtables (appended to the same vector) for
+/// codes of 10..=15 bits. Decoding is a peek + one or two indexed
+/// loads + a consume — no per-bit loop.
+///
+/// Entry layout (u32): `0` = no code reaches this slot;
+/// direct = `len << 16 | symbol`; subtable pointer =
+/// `SUB_FLAG | offset << 4 | index_bits`.
+pub(crate) struct LutHuffman {
+    table: Vec<u32>,
+}
+
+impl LutHuffman {
+    /// Builds the table set. Infallible: `h` was already validated as
+    /// not oversubscribed, and incomplete codes simply leave slots 0.
+    pub(crate) fn new(h: &Huffman) -> Self {
+        // Enumerate (symbol, length, canonical code) the same way
+        // `Huffman::decode` walks lengths: codes of length L occupy
+        // [first_L, first_L + count_L) in canonical symbol order.
+        let mut entries: Vec<(u16, u32, u32)> = Vec::with_capacity(h.symbol.len());
+        let mut first: u32 = 0;
+        let mut index: usize = 0;
+        for len in 1..=MAX_BITS {
+            let cnt = h.count[len] as u32;
+            for k in 0..cnt {
+                entries.push((h.symbol[index + k as usize], len as u32, first + k));
+            }
+            index += cnt as usize;
+            first = (first + cnt) << 1;
+        }
+
+        let mut table = vec![0u32; 1 << PRIMARY_BITS];
+        // Size each overflow subtable by the longest code sharing its
+        // 9-bit wire prefix, then append them after the primary table.
+        let mut sub_bits = [0u8; 1 << PRIMARY_BITS];
+        for &(_, len, code) in &entries {
+            if len > PRIMARY_BITS {
+                let low = (rev(code, len) & PRIMARY_MASK) as usize;
+                sub_bits[low] = sub_bits[low].max((len - PRIMARY_BITS) as u8);
+            }
+        }
+        for (i, &sb) in sub_bits.iter().enumerate() {
+            if sb > 0 {
+                let off = table.len() as u32;
+                table[i] = SUB_FLAG | (off << 4) | sb as u32;
+                let grown = table.len() + (1usize << sb);
+                table.resize(grown, 0);
+            }
+        }
+        // Fill: every index whose low `len` bits equal the reversed
+        // code maps to that symbol (the prefix property guarantees no
+        // two codes claim the same slot).
+        for &(sym, len, code) in &entries {
+            let wire = rev(code, len);
+            let entry = (len << 16) | sym as u32;
+            if len <= PRIMARY_BITS {
+                let step = 1usize << len;
+                let mut i = wire as usize;
+                while i < (1 << PRIMARY_BITS) {
+                    table[i] = entry;
+                    i += step;
+                }
+            } else {
+                let slot = table[(wire & PRIMARY_MASK) as usize];
+                let sb = slot & 0xF;
+                let off = ((slot >> 4) & !(SUB_FLAG >> 4)) as usize;
+                let step = 1usize << (len - PRIMARY_BITS);
+                let mut i = (wire >> PRIMARY_BITS) as usize;
+                while i < (1usize << sb) {
+                    table[off + i] = entry;
+                    i += step;
+                }
+            }
+        }
+        Self { table }
+    }
+
+    /// Resolves one symbol from `avail` peeked wire bits in `v`
+    /// (zero-padded above `avail`). Returns the symbol and the number
+    /// of bits to consume. Mirrors `Huffman::decode` error semantics:
+    /// a pattern matching no code is [`InflateError::InvalidCode`]
+    /// when 15 real bits were available, otherwise the input ended
+    /// mid-code and it is [`InflateError::UnexpectedEof`].
+    pub(crate) fn lookup(&self, v: u32, avail: u32) -> Result<(u16, u32), InflateError> {
+        let mut e = self.table[(v & PRIMARY_MASK) as usize];
+        if e & SUB_FLAG != 0 {
+            let sb = e & 0xF;
+            let off = ((e >> 4) & !(SUB_FLAG >> 4)) as usize;
+            e = self.table[off + ((v >> PRIMARY_BITS) & ((1 << sb) - 1)) as usize];
+        }
+        let len = (e >> 16) & 0x1F;
+        if len == 0 || len > avail {
+            return Err(if avail < MAX_BITS as u32 {
+                InflateError::UnexpectedEof
+            } else {
+                InflateError::InvalidCode
+            });
+        }
+        Ok(((e & 0xFFFF) as u16, len))
+    }
+
+    /// Decodes one symbol from a [`Bits`] source (peek, table probe,
+    /// consume).
+    pub(crate) fn decode<B: Bits + ?Sized>(&self, br: &mut B) -> Result<u16, InflateError> {
+        let (v, avail) = br.peek15();
+        let (sym, len) = self.lookup(v, avail)?;
+        br.consume(len);
+        Ok(sym)
+    }
+}
+
 // --- DEFLATE block decoding ---------------------------------------------
 
-const LEN_BASE: [u16; 29] = [
+pub(crate) const LEN_BASE: [u16; 29] = [
     3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
     163, 195, 227, 258,
 ];
-const LEN_EXTRA: [u8; 29] = [
+pub(crate) const LEN_EXTRA: [u8; 29] = [
     0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
 ];
-const DIST_BASE: [u16; 30] = [
+pub(crate) const DIST_BASE: [u16; 30] = [
     1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
     2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
 ];
-const DIST_EXTRA: [u8; 30] = [
+pub(crate) const DIST_EXTRA: [u8; 30] = [
     0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
     13,
 ];
@@ -346,22 +533,24 @@ const CLEN_ORDER: [usize; 19] = [
 ];
 
 /// Decodes the shared literal/length + distance loop of compressed
-/// blocks into `out`.
+/// blocks into `out`, through the two-level lookup tables.
 fn codes(
     br: &mut BitReader<'_>,
     litlen: &Huffman,
     dist: &Huffman,
     out: &mut Vec<u8>,
 ) -> Result<(), InflateError> {
+    let lit_lut = LutHuffman::new(litlen);
+    let dist_lut = LutHuffman::new(dist);
     loop {
-        let sym = litlen.decode(br)?;
+        let sym = lit_lut.decode(br)?;
         match sym {
             0..=255 => out.push(sym as u8),
             256 => return Ok(()),
             257..=285 => {
                 let idx = (sym - 257) as usize;
                 let len = LEN_BASE[idx] as usize + br.bits(LEN_EXTRA[idx] as u32)? as usize;
-                let dsym = dist.decode(br)?;
+                let dsym = dist_lut.decode(br)?;
                 if dsym >= 30 {
                     return Err(InflateError::InvalidSymbol(dsym));
                 }
@@ -387,7 +576,7 @@ fn codes(
 }
 
 /// Fixed-Huffman tables (RFC 1951 §3.2.6).
-fn fixed_tables() -> (Huffman, Huffman) {
+pub(crate) fn fixed_tables() -> (Huffman, Huffman) {
     let mut lit = [0u8; MAX_LIT_CODES];
     for (s, l) in lit.iter_mut().enumerate() {
         *l = match s {
@@ -403,7 +592,9 @@ fn fixed_tables() -> (Huffman, Huffman) {
 }
 
 /// Reads the dynamic-block table definition (RFC 1951 §3.2.7).
-fn dynamic_tables(br: &mut BitReader<'_>) -> Result<(Huffman, Huffman), InflateError> {
+pub(crate) fn dynamic_tables<B: Bits + ?Sized>(
+    br: &mut B,
+) -> Result<(Huffman, Huffman), InflateError> {
     let hlit = br.bits(5)? as usize + 257;
     let hdist = br.bits(5)? as usize + 1;
     let hclen = br.bits(4)? as usize + 4;
@@ -510,10 +701,10 @@ pub fn inflate_raw(data: &[u8]) -> Result<Vec<u8>, InflateError> {
 
 // --- gzip member framing ------------------------------------------------
 
-const FHCRC: u8 = 1 << 1;
-const FEXTRA: u8 = 1 << 2;
-const FNAME: u8 = 1 << 3;
-const FCOMMENT: u8 = 1 << 4;
+pub(crate) const FHCRC: u8 = 1 << 1;
+pub(crate) const FEXTRA: u8 = 1 << 2;
+pub(crate) const FNAME: u8 = 1 << 3;
+pub(crate) const FCOMMENT: u8 = 1 << 4;
 
 fn take<'a>(data: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], InflateError> {
     let end = pos.checked_add(n).ok_or(InflateError::UnexpectedEof)?;

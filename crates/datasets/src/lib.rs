@@ -19,7 +19,9 @@
 //!   filename manifests;
 //! - [`paper`]: the six named datasets — synthetic stand-ins with a
 //!   scale knob, plus [`PaperDataset::load`] /
-//!   [`PaperDataset::resolve`] for running on the real graphs.
+//!   [`PaperDataset::resolve`] for running on the real graphs;
+//! - [`stream`]: incremental gzip decompression behind `io::Read`
+//!   (constant-memory ingestion for the out-of-core pipeline).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +30,8 @@ pub mod generators;
 pub mod inflate;
 pub mod loaders;
 pub mod paper;
+pub mod stream;
 
 pub use loaders::LoadError;
 pub use paper::PaperDataset;
+pub use stream::{open_edge_stream, GzipStreamReader};

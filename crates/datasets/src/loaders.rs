@@ -206,18 +206,46 @@ fn parse_meta_counts(text: &str) -> (Option<u64>, Option<u64>) {
     (nodes, edges)
 }
 
+/// Recovers the typed loader error from a streamed read failure: the
+/// incremental gzip reader wraps [`InflateError`]s in `io::Error`, and
+/// line iteration reports invalid UTF-8 as `InvalidData`.
+fn retype_stream_error(e: IoError) -> LoadError {
+    match e {
+        IoError::Io(ioe) => {
+            if let Some(ge) = ioe
+                .get_ref()
+                .and_then(|inner| inner.downcast_ref::<InflateError>())
+            {
+                return LoadError::Gzip(ge.clone());
+            }
+            if ioe.kind() == std::io::ErrorKind::InvalidData && ioe.to_string().contains("UTF-8") {
+                // Streamed reads cannot report the byte offset of the
+                // first invalid sequence; 0 marks "unknown".
+                return LoadError::NonUtf8 { valid_up_to: 0 };
+            }
+            LoadError::Io(ioe)
+        }
+        other => other.into(),
+    }
+}
+
 /// Loads an edge-list file from disk (gzip-transparent). For KONECT
 /// `out.*` files, a sibling `meta.*` sidecar supplies declared counts
 /// when the edge file itself carries none. Declared-count enforcement
 /// (when requested) happens after the sidecar merge, so the typed
 /// [`LoadError::SizeMismatch`] covers both sources.
+///
+/// The file is *streamed*: gzip members inflate incrementally through
+/// [`crate::stream::GzipStreamReader`] and lines parse as they arrive,
+/// so resident memory is the parsed graph plus fixed-size buffers —
+/// never the raw or decompressed file.
 pub fn load_edge_list_path(path: &Path, opts: ReadOptions) -> Result<EdgeListDoc, LoadError> {
-    let bytes = std::fs::read(path)?;
+    let reader = crate::stream::open_edge_stream(path)?;
     let parse_opts = ReadOptions {
         enforce_declared_counts: false,
         ..opts
     };
-    let mut doc = load_edge_list_bytes(&bytes, parse_opts)?;
+    let mut doc = read_edge_list_doc(reader, parse_opts).map_err(retype_stream_error)?;
     if doc.declared_nodes.is_none() || doc.declared_edges.is_none() {
         if let Some(meta) = konect_meta_sidecar(path) {
             let meta_bytes = std::fs::read(&meta)?;

@@ -9,6 +9,8 @@
 //! CRC32/ISIZE and expect the typed failures.
 
 use sp_datasets::inflate::{crc32, gunzip, InflateError};
+use sp_datasets::stream::GzipStreamReader;
+use std::io::Read;
 
 /// `gzip.compress(STORED_PLAIN, compresslevel=0, mtime=0)`.
 const STORED_GZ: [u8; 53] = [
@@ -137,6 +139,48 @@ fn concatenated_members_of_different_block_types() {
     expected.extend_from_slice(&fixed_plain());
     expected.extend_from_slice(&dyn_plain());
     assert_eq!(gunzip(&all).unwrap(), expected);
+}
+
+/// The incremental reader must produce byte-identical output to the
+/// one-shot decoder on every zlib-produced block type, at any read
+/// granularity.
+#[test]
+fn streaming_reader_matches_oneshot_on_all_block_types() {
+    for gz in [&STORED_GZ[..], &FIXED_GZ[..], &DYN_GZ[..]] {
+        let expected = gunzip(gz).unwrap();
+        for chunk in [1usize, 7, 4096] {
+            let mut r = GzipStreamReader::new(gz);
+            let mut got = Vec::new();
+            let mut buf = vec![0u8; chunk];
+            loop {
+                let n = r.read(&mut buf).unwrap();
+                if n == 0 {
+                    break;
+                }
+                got.extend_from_slice(&buf[..n]);
+            }
+            assert_eq!(got, expected, "chunk {chunk}");
+        }
+    }
+}
+
+/// Streaming trailer validation catches the same corruptions the
+/// one-shot decoder does, as typed `InvalidData` errors.
+#[test]
+fn streaming_reader_validates_trailers() {
+    for gz in [&STORED_GZ[..], &FIXED_GZ[..], &DYN_GZ[..]] {
+        let mut bad = gz.to_vec();
+        let n = bad.len();
+        bad[n - 6] ^= 0x40; // a CRC32 byte
+        let mut r = GzipStreamReader::new(&bad[..]);
+        let mut sink = Vec::new();
+        let err = r.read_to_end(&mut sink).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(matches!(
+            err.get_ref().and_then(|e| e.downcast_ref::<InflateError>()),
+            Some(InflateError::CrcMismatch { .. })
+        ));
+    }
 }
 
 #[test]

@@ -87,7 +87,7 @@ impl Graph {
     }
 
     /// `edges` must already be canonical: `u < v`, sorted, deduplicated.
-    fn from_canonical_edges(num_nodes: usize, edges: Vec<(NodeId, NodeId)>) -> Self {
+    pub(crate) fn from_canonical_edges(num_nodes: usize, edges: Vec<(NodeId, NodeId)>) -> Self {
         let mut degree = vec![0usize; num_nodes];
         for &(u, v) in &edges {
             degree[u as usize] += 1;
@@ -216,6 +216,15 @@ impl Graph {
             .map(|v| self.degree(v as NodeId))
             .max()
             .unwrap_or(0)
+    }
+
+    /// Heap bytes held by the adjacency arrays — what a
+    /// [`sp_mem::MemTracker`] entry for a resident graph should
+    /// account.
+    pub fn heap_bytes(&self) -> u64 {
+        (self.offsets.capacity() * std::mem::size_of::<usize>()
+            + self.neighbors.capacity() * std::mem::size_of::<NodeId>()
+            + self.edges.capacity() * std::mem::size_of::<(NodeId, NodeId)>()) as u64
     }
 }
 

@@ -1,0 +1,218 @@
+//! Bounded-memory CSR construction from an edge stream.
+//!
+//! The materialized ingestion path holds several transient copies of
+//! the graph at once (raw text, a parse-order edge vector, then the
+//! CSR arrays). [`StreamingCsr`] is the out-of-core counterpart: it
+//! consumes edges one at a time — from a decompressing reader, a
+//! generator, or any iterator — holding exactly one canonical edge
+//! vector, then finalizes the adjacency arrays in place. With a
+//! [`MemTracker`] attached, every buffer it holds is byte-accounted,
+//! which is how the scale bench and the RSS-budget tests observe
+//! ingestion memory without `/proc`.
+//!
+//! Determinism: [`StreamingCsr::finish`] canonicalizes (sort + dedup)
+//! exactly like [`GraphBuilder::build`](crate::GraphBuilder::build),
+//! so the resulting [`Graph`] is bit-identical to the materialized
+//! construction for the same edge multiset, in any arrival order.
+
+use crate::graph::{Graph, NodeId};
+use sp_mem::MemTracker;
+use std::io::{self, BufRead};
+use std::sync::Arc;
+
+/// Incremental CSR builder over a stream of (possibly duplicated,
+/// possibly self-looping) undirected edges with dense `u32` ids.
+pub struct StreamingCsr {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    records: usize,
+    self_loops: usize,
+    tracker: Option<Arc<MemTracker>>,
+    reserved: u64,
+}
+
+impl StreamingCsr {
+    /// A builder for ids `0..num_nodes`; edges touching larger ids
+    /// grow the node count (the stream, not a header, is the truth).
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            edges: Vec::new(),
+            records: 0,
+            self_loops: 0,
+            tracker: None,
+            reserved: 0,
+        }
+    }
+
+    /// Like [`StreamingCsr::new`], with every held buffer accounted
+    /// against `tracker` for the builder's lifetime.
+    pub fn with_tracker(num_nodes: usize, tracker: Arc<MemTracker>) -> Self {
+        let mut s = Self::new(num_nodes);
+        s.tracker = Some(tracker);
+        s
+    }
+
+    fn sync_reservation(&mut self) {
+        if let Some(t) = &self.tracker {
+            let now = sp_mem::vec_bytes(&self.edges);
+            if now > self.reserved {
+                t.add(now - self.reserved);
+            } else if now < self.reserved {
+                t.release(self.reserved - now);
+            }
+            self.reserved = now;
+        }
+    }
+
+    /// Feeds one edge record. Self-loops are counted and dropped;
+    /// orientation is canonicalized; duplicates resolve at
+    /// [`StreamingCsr::finish`].
+    pub fn push(&mut self, u: NodeId, v: NodeId) {
+        self.records += 1;
+        let hi = u.max(v) as usize + 1;
+        if hi > self.num_nodes {
+            self.num_nodes = hi;
+        }
+        if u == v {
+            self.self_loops += 1;
+            return;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.push(key);
+        self.sync_reservation();
+    }
+
+    /// Edge records seen so far (including dropped self-loops).
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Self-loop records dropped so far.
+    pub fn self_loops(&self) -> usize {
+        self.self_loops
+    }
+
+    /// Consumes a dense-id edge-list stream: one `u v` pair per line,
+    /// extra columns ignored, `#`/`%` comments and blank lines
+    /// skipped. Use the `sp_datasets` loaders instead when ids need
+    /// compaction or headers need enforcement — this is the
+    /// fixed-format fast path under the scale bench.
+    pub fn consume_lines<R: BufRead>(&mut self, reader: R) -> io::Result<()> {
+        for line in reader.lines() {
+            let line = line?;
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+                continue;
+            }
+            let mut it = t
+                .split([' ', '\t', ','])
+                .filter(|s| !s.is_empty())
+                .map(|s| s.parse::<NodeId>());
+            match (it.next(), it.next()) {
+                (Some(Ok(u)), Some(Ok(v))) => self.push(u, v),
+                _ => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("not a dense-id edge record: {t:?}"),
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalizes: canonical in-place sort + dedup, then the CSR
+    /// arrays, releasing the builder's reservation and (when tracked)
+    /// accounting the finished graph's heap.
+    pub fn finish(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        self.edges.shrink_to_fit();
+        self.sync_reservation();
+        let tracker = self.tracker.take();
+        let reserved = self.reserved;
+        self.reserved = 0;
+        let g = Graph::from_canonical_edges(self.num_nodes, std::mem::take(&mut self.edges));
+        if let Some(t) = &tracker {
+            // Swap the edge-vector reservation for the whole graph's.
+            t.release(reserved);
+            t.add(g.heap_bytes());
+        }
+        g
+    }
+}
+
+impl Drop for StreamingCsr {
+    fn drop(&mut self) {
+        if let Some(t) = &self.tracker {
+            t.release(self.reserved);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn matches_graph_builder_bitwise() {
+        let raw = [(3u32, 1u32), (1, 3), (0, 0), (2, 4), (1, 2), (2, 1)];
+        let mut b = GraphBuilder::new(5);
+        for &(u, v) in &raw {
+            b.add_edge(u, v);
+        }
+        let reference = b.build();
+
+        let mut s = StreamingCsr::new(0);
+        for &(u, v) in &raw {
+            s.push(u, v);
+        }
+        assert_eq!(s.records(), 6);
+        assert_eq!(s.self_loops(), 1);
+        let streamed = s.finish();
+        assert_eq!(streamed, reference);
+    }
+
+    #[test]
+    fn consume_lines_parses_comments_and_columns() {
+        let text = "# banner\n% meta\n0 1 77 123456\n1\t2\n2,3\n\n";
+        let mut s = StreamingCsr::new(0);
+        s.consume_lines(text.as_bytes()).unwrap();
+        let g = s.finish();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn consume_lines_rejects_garbage() {
+        let mut s = StreamingCsr::new(0);
+        let err = s.consume_lines(&b"0 1\nnope\n"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn tracker_accounts_buffers_and_final_graph() {
+        let t = MemTracker::shared();
+        let mut s = StreamingCsr::with_tracker(0, Arc::clone(&t));
+        for i in 0..1000u32 {
+            s.push(i, i + 1);
+        }
+        assert!(t.current() >= 1000 * 8);
+        let g = s.finish();
+        assert_eq!(t.current(), g.heap_bytes());
+        drop(g);
+        assert!(t.peak() >= 1000 * 8);
+    }
+
+    #[test]
+    fn dropping_builder_releases_reservation() {
+        let t = MemTracker::shared();
+        let mut s = StreamingCsr::with_tracker(0, Arc::clone(&t));
+        s.push(0, 1);
+        assert!(t.current() > 0);
+        drop(s);
+        assert_eq!(t.current(), 0);
+    }
+}

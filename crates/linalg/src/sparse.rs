@@ -26,6 +26,34 @@ pub struct CsrRowBlock {
     pub data: Vec<f64>,
 }
 
+impl CsrRowBlock {
+    /// Number of rows in the block.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.row_nnz.len()
+    }
+
+    /// Appends `other`'s rows after this block's rows, preserving row
+    /// order — how a band assembled from per-thread chunks (or a
+    /// matrix assembled from bands) grows without an intermediate
+    /// `Vec<CsrRowBlock>`.
+    pub fn append(&mut self, mut other: CsrRowBlock) {
+        debug_assert_eq!(other.indices.len(), other.data.len());
+        self.row_nnz.append(&mut other.row_nnz);
+        self.indices.append(&mut other.indices);
+        self.data.append(&mut other.data);
+    }
+
+    /// Heap bytes held by the block's three arrays — what an
+    /// out-of-core builder accounts against its memory budget while
+    /// the block is resident.
+    pub fn heap_bytes(&self) -> u64 {
+        (self.row_nnz.capacity() * std::mem::size_of::<usize>()
+            + self.indices.capacity() * std::mem::size_of::<u32>()
+            + self.data.capacity() * std::mem::size_of::<f64>()) as u64
+    }
+}
+
 /// A CSR sparse matrix with `f64` values.
 ///
 /// Invariants (checked by [`CsrMatrix::validate`] and maintained by all
@@ -542,6 +570,14 @@ impl CsrMatrix {
         d
     }
 
+    /// Heap bytes held by the CSR arrays — the cost an out-of-core
+    /// pipeline avoids by never materialising the matrix.
+    pub fn heap_bytes(&self) -> u64 {
+        (self.indptr.capacity() * std::mem::size_of::<usize>()
+            + self.indices.capacity() * std::mem::size_of::<u32>()
+            + self.data.capacity() * std::mem::size_of::<f64>()) as u64
+    }
+
     /// True when the matrix equals its transpose (up to exact float
     /// equality; proximity matrices are built symmetrically).
     pub fn is_symmetric(&self) -> bool {
@@ -700,6 +736,32 @@ mod tests {
         assert!(CsrMatrix::from_raw(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
         // unsorted columns
         assert!(CsrMatrix::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn row_block_append_matches_two_block_assembly() {
+        let m = sample();
+        let top = m.spgemm_rows(&m, 0..2, 0.0);
+        let bottom = m.spgemm_rows(&m, 2..3, 0.0);
+        let via_vec = CsrMatrix::from_row_blocks(3, 3, vec![top.clone(), bottom.clone()]);
+        let mut merged = top;
+        assert_eq!(merged.rows(), 2);
+        merged.append(bottom);
+        assert_eq!(merged.rows(), 3);
+        assert!(merged.heap_bytes() > 0);
+        let via_append = CsrMatrix::from_row_blocks(3, 3, vec![merged]);
+        assert_eq!(via_vec, via_append);
+        assert_eq!(via_vec, m.spgemm(&m));
+    }
+
+    #[test]
+    fn heap_bytes_counts_all_arrays() {
+        let m = sample();
+        let expect = (m.indptr.capacity() * std::mem::size_of::<usize>()
+            + m.indices.capacity() * std::mem::size_of::<u32>()
+            + m.data.capacity() * std::mem::size_of::<f64>()) as u64;
+        assert_eq!(m.heap_bytes(), expect);
+        assert!(m.heap_bytes() >= (m.nnz() * 12) as u64);
     }
 
     #[test]

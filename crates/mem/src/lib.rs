@@ -1,0 +1,169 @@
+//! Byte-accounting memory tracking for the out-of-core pipeline.
+//!
+//! The workspace forbids `unsafe`, so a true `GlobalAlloc` wrapper is
+//! off the table; and the build container gives no `/proc` guarantees,
+//! so peak RSS cannot be read back from the OS portably. Instead the
+//! blocked/streaming execution paths thread an explicit [`MemTracker`]
+//! through every stage and account the bytes of each transient buffer
+//! they hold. The tracked numbers are *deterministic* — a function of
+//! graph shape, band height, and shard size only — which is what lets
+//! `sp_scale_bench` gate bytes/edge in CI where wall-clock numbers
+//! would be noise.
+//!
+//! Accounting convention: a stage [`reserve`](MemTracker::reserve)s the
+//! byte size of each buffer the moment it is allocated and releases it
+//! when the buffer is dropped (the RAII [`Reservation`] guard makes the
+//! release automatic). `peak()` is then the high-water mark of
+//! simultaneously-live tracked bytes — the quantity a fixed RSS budget
+//! constrains. Untracked ambient allocations (the graph itself, the
+//! model matrices) are accounted once up front by the caller via
+//! [`MemTracker::reserve`] with their `heap_bytes()`-style sizes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared byte-accounting tracker: `current` live tracked bytes and
+/// the `peak` high-water mark, both updated atomically so parallel
+/// band workers can account through one tracker.
+#[derive(Debug, Default)]
+pub struct MemTracker {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl MemTracker {
+    /// A fresh tracker with zero live bytes and zero peak.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh tracker behind an [`Arc`], ready to clone into workers.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Account `bytes` as live and return a guard that releases them
+    /// when dropped.
+    pub fn reserve(self: &Arc<Self>, bytes: u64) -> Reservation {
+        self.add(bytes);
+        Reservation {
+            tracker: Arc::clone(self),
+            bytes,
+        }
+    }
+
+    /// Account `bytes` as live without a guard; pair with [`release`].
+    ///
+    /// [`release`]: MemTracker::release
+    pub fn add(&self, bytes: u64) {
+        let now = self.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Release `bytes` previously accounted with [`add`](MemTracker::add).
+    pub fn release(&self, bytes: u64) {
+        let prev = self.current.fetch_sub(bytes, Ordering::Relaxed);
+        debug_assert!(prev >= bytes, "released more bytes than reserved");
+    }
+
+    /// Currently live tracked bytes.
+    pub fn current(&self) -> u64 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of simultaneously-live tracked bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Reset both counters to zero (between bench configurations).
+    pub fn reset(&self) {
+        self.current.store(0, Ordering::Relaxed);
+        self.peak.store(0, Ordering::Relaxed);
+    }
+}
+
+/// RAII guard for a [`MemTracker::reserve`] accounting entry: the
+/// reserved bytes stay live until the guard drops.
+#[derive(Debug)]
+pub struct Reservation {
+    tracker: Arc<MemTracker>,
+    bytes: u64,
+}
+
+impl Reservation {
+    /// The number of bytes this guard holds live.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Grow the reservation in place (a buffer that was extended).
+    pub fn grow(&mut self, extra: u64) {
+        self.tracker.add(extra);
+        self.bytes += extra;
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        self.tracker.release(self.bytes);
+    }
+}
+
+/// Heap bytes of a `Vec<T>` by capacity — the quantity a tracker entry
+/// for an ambient buffer should use.
+pub fn vec_bytes<T>(v: &Vec<T>) -> u64 {
+    (v.capacity() * std::mem::size_of::<T>()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_is_high_water_mark() {
+        let t = MemTracker::shared();
+        let a = t.reserve(100);
+        {
+            let _b = t.reserve(50);
+            assert_eq!(t.current(), 150);
+        }
+        assert_eq!(t.current(), 100);
+        assert_eq!(t.peak(), 150);
+        drop(a);
+        assert_eq!(t.current(), 0);
+        assert_eq!(t.peak(), 150);
+    }
+
+    #[test]
+    fn grow_extends_reservation() {
+        let t = MemTracker::shared();
+        let mut r = t.reserve(10);
+        r.grow(5);
+        assert_eq!(r.bytes(), 15);
+        assert_eq!(t.current(), 15);
+        drop(r);
+        assert_eq!(t.current(), 0);
+        assert_eq!(t.peak(), 15);
+    }
+
+    #[test]
+    fn reset_clears_both_counters() {
+        let t = MemTracker::shared();
+        t.add(42);
+        t.release(42);
+        assert_eq!(t.peak(), 42);
+        t.reset();
+        assert_eq!(t.current(), 0);
+        assert_eq!(t.peak(), 0);
+    }
+
+    #[test]
+    fn vec_bytes_uses_capacity() {
+        let v: Vec<u64> = Vec::with_capacity(8);
+        assert_eq!(vec_bytes(&v), 64);
+    }
+}

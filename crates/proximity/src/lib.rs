@@ -28,12 +28,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod band;
 pub mod degree;
 pub mod neighborhood;
 pub mod walk;
 
 use sp_graph::Graph;
 use sp_linalg::{CooBuilder, CsrMatrix};
+use sp_mem::MemTracker;
 
 /// Which proximity measure to use (the "structure preference").
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -146,6 +148,82 @@ impl EdgeProximity {
             }
         };
         Self::from_raw(raw_weights, raw_min, kind)
+    }
+
+    /// Out-of-core variant of [`EdgeProximity::compute_threads`] for
+    /// the wedge-family measures (CN, AA, RA): streams the proximity
+    /// matrix through [`band::WedgeBander`] in row-bands of at most
+    /// `band_rows` rows, reading off the edge weights and the running
+    /// `min(P)` from each band before dropping it. Peak transient
+    /// memory is one band instead of the whole matrix.
+    ///
+    /// Bit-identical to the materialised path for any `band_rows >= 1`
+    /// and any thread count: wedge rows are chunk-independent, the
+    /// per-edge weights are read in the same canonical edge order, and
+    /// `min` over positives is an exact order-free fold.
+    ///
+    /// Measures outside the wedge family keep their existing path
+    /// (closed form for the degree family, materialised matrix for the
+    /// walk family, whose power iterations need the whole operator).
+    ///
+    /// With a `tracker`, every transient band is byte-accounted for
+    /// its residency window — how the scale bench and the RSS-budget
+    /// tests observe the blocked pipeline's peak.
+    pub fn compute_blocked(
+        g: &Graph,
+        kind: ProximityKind,
+        band_rows: usize,
+        threads: Option<usize>,
+        tracker: Option<&MemTracker>,
+    ) -> Self {
+        assert!(band_rows >= 1, "band_rows must be >= 1");
+        let Some(bander) = band::WedgeBander::new(g, kind) else {
+            return Self::compute_threads(g, kind, threads);
+        };
+        let n = bander.rows();
+        let edges = g.edges();
+        let mut weights = vec![0.0f64; edges.len()];
+        let mut raw_min: Option<f64> = None;
+        let mut cursor = 0usize; // next edge whose row is not yet seen
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + band_rows).min(n);
+            let block = bander.band(start..end, threads);
+            let bytes = block.heap_bytes();
+            if let Some(t) = tracker {
+                t.add(bytes);
+            }
+            // Exact running min over the band's positive entries:
+            // f64::min over positives is associative and exact, so the
+            // band-order fold equals CsrMatrix::min_positive bitwise.
+            for &v in &block.data {
+                if v > 0.0 {
+                    raw_min = Some(raw_min.map_or(v, |m| m.min(v)));
+                }
+            }
+            // Row offsets within the band, then advance the edge
+            // cursor through every canonical edge (u, v) with u in
+            // this band — edges are sorted by u, so this is one pass.
+            let mut offs = Vec::with_capacity(block.rows() + 1);
+            offs.push(0usize);
+            for &c in &block.row_nnz {
+                offs.push(offs.last().unwrap() + c);
+            }
+            while cursor < edges.len() && (edges[cursor].0 as usize) < end {
+                let (u, v) = edges[cursor];
+                let r = u as usize - start;
+                let row_idx = &block.indices[offs[r]..offs[r + 1]];
+                if let Ok(pos) = row_idx.binary_search(&v) {
+                    weights[cursor] = block.data[offs[r] + pos];
+                }
+                cursor += 1;
+            }
+            if let Some(t) = tracker {
+                t.release(bytes);
+            }
+            start = end;
+        }
+        Self::from_raw(weights, raw_min.unwrap_or(1.0), kind)
     }
 
     /// Mean-normalises raw weights (exposed for tests and custom
@@ -327,6 +405,72 @@ mod tests {
                 "edge {e}: {x_raw} vs {x_norm}"
             );
         }
+    }
+
+    #[test]
+    fn compute_blocked_is_bit_identical_to_materialised() {
+        let g = karate_ish();
+        for kind in [
+            ProximityKind::CommonNeighbors,
+            ProximityKind::AdamicAdar,
+            ProximityKind::ResourceAllocation,
+        ] {
+            let full = EdgeProximity::compute_threads(&g, kind, Some(1));
+            for band_rows in [1, 2, 3, g.num_nodes()] {
+                for threads in [1, 4] {
+                    let blocked =
+                        EdgeProximity::compute_blocked(&g, kind, band_rows, Some(threads), None);
+                    assert_eq!(
+                        blocked
+                            .weights
+                            .iter()
+                            .map(|w| w.to_bits())
+                            .collect::<Vec<_>>(),
+                        full.weights.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+                        "{kind:?} band_rows={band_rows} threads={threads}"
+                    );
+                    assert_eq!(blocked.min_positive.to_bits(), full.min_positive.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compute_blocked_falls_back_for_non_wedge_kinds() {
+        let g = karate_ish();
+        for kind in [ProximityKind::Degree, ProximityKind::deepwalk_default()] {
+            let full = EdgeProximity::compute_threads(&g, kind, Some(1));
+            let blocked = EdgeProximity::compute_blocked(&g, kind, 2, Some(1), None);
+            assert_eq!(
+                blocked
+                    .weights
+                    .iter()
+                    .map(|w| w.to_bits())
+                    .collect::<Vec<_>>(),
+                full.weights.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+            );
+        }
+    }
+
+    #[test]
+    fn compute_blocked_accounts_transient_bands() {
+        let g = karate_ish();
+        let t = MemTracker::new();
+        let p = EdgeProximity::compute_blocked(
+            &g,
+            ProximityKind::CommonNeighbors,
+            2,
+            Some(1),
+            Some(&t),
+        );
+        assert_eq!(p.len(), g.num_edges());
+        // Bands are released as they are drained: nothing left resident,
+        // but the peak saw at least one band.
+        assert_eq!(t.current(), 0);
+        assert!(t.peak() > 0);
+        // A one-row band's peak is bounded by the whole matrix's heap.
+        let full = proximity_matrix(&g, ProximityKind::CommonNeighbors);
+        assert!(t.peak() <= full.heap_bytes());
     }
 
     #[test]

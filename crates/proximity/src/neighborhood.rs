@@ -19,48 +19,69 @@
 use sp_graph::{Graph, NodeId};
 use sp_linalg::{CsrMatrix, CsrRowBlock};
 use sp_parallel::{default_chunk_size, par_map_chunks, resolve_threads};
+use std::ops::Range;
 
-/// Shared wedge-enumeration core: `p_ij = Σ_{w ∈ N(i)∩N(j)} weight(w)`.
-///
-/// `weight` must be non-negative: a strictly positive partial sum is
-/// what lets the scratch row use exact zero as its "untouched" marker.
-fn wedge_matrix(g: &Graph, weight: impl Fn(NodeId) -> f64, threads: Option<usize>) -> CsrMatrix {
-    let n = g.num_nodes();
-    let w: Vec<f64> = (0..n as NodeId).map(weight).collect();
+/// Per-node wedge-centre weights for a measure: `w[c]` is what centre
+/// `c` contributes to each of its neighbour pairs. All weights must be
+/// non-negative — a strictly positive partial sum is what lets the
+/// scratch row use exact zero as its "untouched" marker.
+pub(crate) fn wedge_weights(g: &Graph, weight: impl Fn(NodeId) -> f64) -> Vec<f64> {
+    let w: Vec<f64> = (0..g.num_nodes() as NodeId).map(weight).collect();
     debug_assert!(w.iter().all(|&c| c >= 0.0), "wedge weights must be >= 0");
-    let threads = resolve_threads(threads);
-    let chunk = default_chunk_size(n, threads);
-    let blocks = par_map_chunks(n, chunk, threads, |rows| {
-        let mut block = CsrRowBlock::default();
-        let mut acc = vec![0.0f64; n];
-        let mut touched: Vec<u32> = Vec::new();
-        for i in rows {
-            for &c in g.neighbors(i as NodeId) {
-                let cw = w[c as usize];
-                if cw == 0.0 {
+    w
+}
+
+/// Wedge enumeration restricted to the output rows in `rows`:
+/// `p_ij = Σ_{w ∈ N(i)∩N(j)} weight(w)` for `i ∈ rows`.
+///
+/// Each output row reads only `g` and `w`, so any partition of
+/// `0..n` into ranges concatenates (in row order) to the bit-identical
+/// full matrix — the seam both the threaded materialised builder and
+/// the out-of-core band builder ([`crate::band`]) go through.
+pub(crate) fn wedge_rows(g: &Graph, w: &[f64], rows: Range<usize>) -> CsrRowBlock {
+    let n = g.num_nodes();
+    let mut block = CsrRowBlock {
+        row_nnz: Vec::with_capacity(rows.len()),
+        indices: Vec::new(),
+        data: Vec::new(),
+    };
+    let mut acc = vec![0.0f64; n];
+    let mut touched: Vec<u32> = Vec::new();
+    for i in rows {
+        for &c in g.neighbors(i as NodeId) {
+            let cw = w[c as usize];
+            if cw == 0.0 {
+                continue;
+            }
+            for &j in g.neighbors(c) {
+                if j as usize == i {
                     continue;
                 }
-                for &j in g.neighbors(c) {
-                    if j as usize == i {
-                        continue;
-                    }
-                    if acc[j as usize] == 0.0 {
-                        touched.push(j);
-                    }
-                    acc[j as usize] += cw;
+                if acc[j as usize] == 0.0 {
+                    touched.push(j);
                 }
+                acc[j as usize] += cw;
             }
-            touched.sort_unstable();
-            block.row_nnz.push(touched.len());
-            for &j in &touched {
-                block.indices.push(j);
-                block.data.push(acc[j as usize]);
-                acc[j as usize] = 0.0;
-            }
-            touched.clear();
         }
-        block
-    });
+        touched.sort_unstable();
+        block.row_nnz.push(touched.len());
+        for &j in &touched {
+            block.indices.push(j);
+            block.data.push(acc[j as usize]);
+            acc[j as usize] = 0.0;
+        }
+        touched.clear();
+    }
+    block
+}
+
+/// Shared wedge-enumeration core: `p_ij = Σ_{w ∈ N(i)∩N(j)} weight(w)`.
+fn wedge_matrix(g: &Graph, weight: impl Fn(NodeId) -> f64, threads: Option<usize>) -> CsrMatrix {
+    let n = g.num_nodes();
+    let w = wedge_weights(g, weight);
+    let threads = resolve_threads(threads);
+    let chunk = default_chunk_size(n, threads);
+    let blocks = par_map_chunks(n, chunk, threads, |rows| wedge_rows(g, &w, rows));
     CsrMatrix::from_row_blocks(n, n, blocks)
 }
 

@@ -68,6 +68,10 @@ pub struct ServerInfo {
     pub index: String,
 }
 
+/// One node's ranked answer inside a bulk [`ServeClient::top_k_bulk`]
+/// response: `(queried node, neighbours)`.
+pub type BulkAnswer = (u32, Vec<Neighbor>);
+
 /// One connection speaking `SPSERVE 1`.
 #[derive(Debug)]
 pub struct ServeClient {
@@ -171,6 +175,59 @@ impl ServeClient {
         }
         self.expect_end()?;
         Ok((version, answer))
+    }
+
+    /// `TOPKN k node…` → `(generation version, per-node ranked
+    /// neighbours in request order)`, all answered from one server-side
+    /// snapshot; scores recovered bit-exactly from the wire.
+    pub fn top_k_bulk(
+        &mut self,
+        nodes: &[u32],
+        k: usize,
+    ) -> Result<(u64, Vec<BulkAnswer>), ClientError> {
+        let mut request = format!("TOPKN {k}");
+        for node in nodes {
+            request.push(' ');
+            request.push_str(&node.to_string());
+        }
+        let header = self.request_line(&request)?;
+        let version = field(&header, "version=")?;
+        let count: usize = field(&header, "nodes=")?;
+        let mut answers = Vec::with_capacity(count);
+        for _ in 0..count {
+            let sub = self.read_line()?;
+            let rest = sub
+                .strip_prefix("NODE ")
+                .ok_or_else(|| ClientError::Protocol(format!("expected NODE, got {sub:?}")))?;
+            let mut parts = rest.split_ascii_whitespace();
+            let node: u32 = parse_next(&mut parts, "node")?;
+            let block_len: usize = parse_next(&mut parts, "count")?;
+            let mut answer = Vec::with_capacity(block_len);
+            for rank in 0..block_len {
+                let line = self.read_line()?;
+                let mut parts = line.split_ascii_whitespace();
+                let got_rank: usize = parse_next(&mut parts, "rank")?;
+                if got_rank != rank + 1 {
+                    return Err(ClientError::Protocol(format!(
+                        "rank {got_rank} out of order (expected {})",
+                        rank + 1
+                    )));
+                }
+                let neighbor: u32 = parse_next(&mut parts, "node")?;
+                let bits_text = parts
+                    .next()
+                    .ok_or_else(|| ClientError::Protocol("missing bits field".to_string()))?;
+                let bits = u32::from_str_radix(bits_text, 16)
+                    .map_err(|e| ClientError::Protocol(format!("bad bits field: {e}")))?;
+                answer.push(Neighbor {
+                    node: neighbor,
+                    score: f32::from_bits(bits),
+                });
+            }
+            answers.push((node, answer));
+        }
+        self.expect_end()?;
+        Ok((version, answers))
     }
 
     /// `LINK u v` → `(generation version, bit-exact score)`.

@@ -19,8 +19,8 @@ use std::time::Instant;
 const LATENCY_BUCKETS: usize = 39;
 
 /// The request kinds tracked per command.
-pub(crate) const COMMAND_NAMES: [&str; 7] = [
-    "topk", "link", "info", "stats", "reload", "quit", "shutdown",
+pub(crate) const COMMAND_NAMES: [&str; 8] = [
+    "topk", "topkn", "link", "info", "stats", "reload", "quit", "shutdown",
 ];
 
 /// Index into the per-command counters for a protocol command name.
@@ -225,8 +225,11 @@ pub struct MetricsSnapshot {
     /// errors, oversized lines, idle-timeout evictions.
     pub malformed: u64,
     /// Requests per protocol command, `(name, count)` in fixed
-    /// protocol order (`topk`, `link`, `info`, `stats`, `reload`,
-    /// `quit`, `shutdown`).
+    /// protocol order (`topk`, `topkn`, `link`, `info`, `stats`,
+    /// `reload`, `quit`, `shutdown`). A bulk `TOPKN` counts as **one**
+    /// request however many nodes it carries, so the STATS invariant
+    /// `requests == Σ per_command + malformed` is unaffected by batch
+    /// size.
     pub per_command: Vec<(&'static str, u64)>,
     /// Median request latency upper bound, microseconds.
     pub p50_us: u64,

@@ -10,6 +10,7 @@
 //! | Request | Response |
 //! |---|---|
 //! | `TOPK <node> <k>` | `OK TOPK version=<v> count=<n>`, then `<rank> <node> <bits> <score>` × n, then `END` |
+//! | `TOPKN <k> <node…>` | `OK TOPKN version=<v> nodes=<n> k=<k>`, then per node `NODE <node> <count>` + `<rank> <node> <bits> <score>` × count, then `END` |
 //! | `LINK <u> <v>` | `OK LINK version=<v> bits=<hex8> score=<dec>` |
 //! | `INFO` | `OK INFO version=<v> nodes=<n> dim=<d> seed=<s> epsilon=<e> delta=<e> index=<desc>` |
 //! | `STATS` | `OK STATS <counters…>`, then `GEN <version> <hits>` per generation, then `END` |
@@ -35,20 +36,36 @@ pub const PROTOCOL_VERSION: u32 = 1;
 
 /// Default cap on one request line; longer lines are rejected with
 /// `ERR 400` and the connection is closed (the stream cannot resync).
-pub const DEFAULT_MAX_LINE_BYTES: usize = 1024;
+/// Sized so a full `TOPKN` line ([`MAX_BULK_NODES`] ten-digit node
+/// ids plus the command and `k`) fits with room to spare.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 4096;
 
 /// Upper bound on `k` in a `TOPK` request — a single query must not be
 /// able to pin a worker on an absurd result size.
 pub const MAX_K: usize = 10_000;
 
+/// Upper bound on the node count of one `TOPKN` request — bulk
+/// queries amortise round-trips, they must not become a way to pin a
+/// worker on an unbounded batch.
+pub const MAX_BULK_NODES: usize = 128;
+
 /// One parsed client request.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
     /// Top-k neighbours of a stored node.
     TopK {
         /// Query node id.
         node: u32,
         /// Result size.
+        k: usize,
+    },
+    /// Top-k neighbours of several stored nodes, answered from one
+    /// store snapshot (every per-node block carries the same
+    /// generation version).
+    TopKN {
+        /// Query node ids, answered in request order.
+        nodes: Vec<u32>,
+        /// Result size per node.
         k: usize,
     },
     /// Link score between two stored nodes.
@@ -104,6 +121,31 @@ impl Request {
                 }
                 Ok(Request::TopK { node, k })
             }
+            "TOPKN" => {
+                if rest.len() < 2 {
+                    return Err(format!(
+                        "TOPKN takes <k> and at least one <node>, got {} argument{}",
+                        rest.len(),
+                        if rest.len() == 1 { "" } else { "s" }
+                    ));
+                }
+                let k: usize = arg(0, "k")?.parse().map_err(|e| format!("TOPKN k: {e}"))?;
+                if k == 0 || k > MAX_K {
+                    return Err(format!("TOPKN k must be in 1..={MAX_K}, got {k}"));
+                }
+                let node_args = &rest[1..];
+                if node_args.len() > MAX_BULK_NODES {
+                    return Err(format!(
+                        "TOPKN takes at most {MAX_BULK_NODES} nodes, got {}",
+                        node_args.len()
+                    ));
+                }
+                let nodes = node_args
+                    .iter()
+                    .map(|s| s.parse::<u32>().map_err(|e| format!("TOPKN node: {e}")))
+                    .collect::<Result<Vec<u32>, String>>()?;
+                Ok(Request::TopKN { nodes, k })
+            }
             "LINK" => {
                 exactly(2)?;
                 let u: u32 = arg(0, "u")?.parse().map_err(|e| format!("LINK u: {e}"))?;
@@ -123,6 +165,7 @@ impl Request {
     pub fn command_name(&self) -> &'static str {
         match self {
             Request::TopK { .. } => "TOPK",
+            Request::TopKN { .. } => "TOPKN",
             Request::Link { .. } => "LINK",
             Request::Info => "INFO",
             Request::Stats => "STATS",
@@ -172,6 +215,29 @@ pub fn format_topk(version: u64, answer: &[Neighbor]) -> String {
     out
 }
 
+/// The `TOPKN` response block: header, then one `NODE <node> <count>`
+/// sub-header per queried node followed by its neighbour lines (same
+/// `<rank> <node> <bits> <score>` shape as `TOPK`), then one `END`.
+/// Every block was answered from the same store snapshot, so a single
+/// `version=` field covers them all.
+pub fn format_topkn(version: u64, k: usize, answers: &[(u32, Vec<Neighbor>)]) -> String {
+    let mut out = format!("OK TOPKN version={version} nodes={} k={k}\n", answers.len());
+    for (node, answer) in answers {
+        out.push_str(&format!("NODE {node} {}\n", answer.len()));
+        for (rank, n) in answer.iter().enumerate() {
+            out.push_str(&format!(
+                "{} {} {:08x} {}\n",
+                rank + 1,
+                n.node,
+                n.score.to_bits(),
+                n.score
+            ));
+        }
+    }
+    out.push_str("END\n");
+    out
+}
+
 /// The `LINK` response line.
 pub fn format_link(version: u64, score: f32) -> String {
     format!(
@@ -213,6 +279,20 @@ mod tests {
             Request::parse("TOPK 3 10"),
             Ok(Request::TopK { node: 3, k: 10 })
         );
+        assert_eq!(
+            Request::parse("TOPKN 5 1 2 3"),
+            Ok(Request::TopKN {
+                nodes: vec![1, 2, 3],
+                k: 5
+            })
+        );
+        assert_eq!(
+            Request::parse("topkn 2 9"),
+            Ok(Request::TopKN {
+                nodes: vec![9],
+                k: 2
+            })
+        );
         assert_eq!(Request::parse("link 1 2"), Ok(Request::Link { u: 1, v: 2 }));
         assert_eq!(Request::parse("INFO"), Ok(Request::Info));
         assert_eq!(Request::parse("STATS"), Ok(Request::Stats));
@@ -242,6 +322,63 @@ mod tests {
         let huge = format!("TOPK 1 {}", MAX_K + 1);
         assert!(Request::parse(&huge).unwrap_err().contains("1..="));
         assert!(Request::parse("TOPK 1 0").unwrap_err().contains("1..="));
+    }
+
+    #[test]
+    fn topkn_bounds_are_enforced() {
+        assert!(Request::parse("TOPKN").unwrap_err().contains("at least"));
+        assert!(Request::parse("TOPKN 5").unwrap_err().contains("at least"));
+        assert!(Request::parse("TOPKN 0 1").unwrap_err().contains("1..="));
+        let huge_k = format!("TOPKN {} 1", MAX_K + 1);
+        assert!(Request::parse(&huge_k).unwrap_err().contains("1..="));
+        assert!(Request::parse("TOPKN x 1").unwrap_err().contains("k"));
+        assert!(Request::parse("TOPKN 5 1 nope")
+            .unwrap_err()
+            .contains("node"));
+        let ids: Vec<String> = (0..=MAX_BULK_NODES as u32).map(|i| i.to_string()).collect();
+        let too_many = format!("TOPKN 3 {}", ids.join(" "));
+        assert!(Request::parse(&too_many).unwrap_err().contains("at most"));
+        // Exactly MAX_BULK_NODES is accepted — and fits the default
+        // line cap even with worst-case ten-digit ids.
+        let wide: Vec<String> = (0..MAX_BULK_NODES).map(|_| u32::MAX.to_string()).collect();
+        let at_cap = format!("TOPKN {MAX_K} {}", wide.join(" "));
+        assert!(at_cap.len() <= DEFAULT_MAX_LINE_BYTES, "{}", at_cap.len());
+        match Request::parse(&at_cap) {
+            Ok(Request::TopKN { nodes, k }) => {
+                assert_eq!(nodes.len(), MAX_BULK_NODES);
+                assert_eq!(k, MAX_K);
+            }
+            other => panic!("expected TopKN, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn topkn_block_round_trips_bits() {
+        let answers = vec![
+            (
+                7u32,
+                vec![
+                    Neighbor {
+                        node: 1,
+                        score: 0.5,
+                    },
+                    Neighbor {
+                        node: 2,
+                        score: f32::NAN,
+                    },
+                ],
+            ),
+            (9u32, vec![]),
+        ];
+        let block = format_topkn(3, 2, &answers);
+        let lines: Vec<&str> = block.lines().collect();
+        assert_eq!(lines[0], "OK TOPKN version=3 nodes=2 k=2");
+        assert_eq!(lines[1], "NODE 7 2");
+        assert_eq!(lines[4], "NODE 9 0");
+        assert_eq!(*lines.last().unwrap(), "END");
+        let fields: Vec<&str> = lines[3].split(' ').collect();
+        let bits = u32::from_str_radix(fields[2], 16).unwrap();
+        assert_eq!(bits, f32::NAN.to_bits(), "bit pattern survives the wire");
     }
 
     #[test]

@@ -331,13 +331,9 @@ fn handle_connection(
                         continue;
                     }
                 };
+                let cmd = req.command_name();
                 let (response, generation, ok, action) = execute(req, serving, config, metrics);
-                metrics.record_request(
-                    req.command_name(),
-                    t0.elapsed().as_micros() as u64,
-                    generation,
-                    ok,
-                );
+                metrics.record_request(cmd, t0.elapsed().as_micros() as u64, generation, ok);
                 if stream.write_all(response.as_bytes()).is_err() {
                     return;
                 }
@@ -402,6 +398,35 @@ fn execute(
                     ConnAction::Continue,
                 ),
             }
+        }
+        Request::TopKN { nodes, k } => {
+            // One snapshot answers the whole batch: every per-node
+            // block carries the same generation even if a RELOAD races
+            // the request. Any failing node fails the whole request
+            // with one ERR (the first failure, so the client sees a
+            // deterministic message) — partial responses would leave
+            // the framing ambiguous.
+            let generation = serving.snapshot();
+            let mut answers = Vec::with_capacity(nodes.len());
+            for node in nodes {
+                match generation.try_top_k_node(node, k) {
+                    Ok(answer) => answers.push((node, answer)),
+                    Err(e) => {
+                        return (
+                            protocol::err_line(protocol::query_error_code(&e), &e.to_string()),
+                            None,
+                            false,
+                            ConnAction::Continue,
+                        )
+                    }
+                }
+            }
+            (
+                protocol::format_topkn(generation.version, k, &answers),
+                Some(generation.version),
+                true,
+                ConnAction::Continue,
+            )
         }
         Request::Link { u, v } => {
             let generation = serving.snapshot();
@@ -564,6 +589,76 @@ mod tests {
         // beat for the OS to tear the socket down).
         std::thread::sleep(Duration::from_millis(50));
         assert!(TcpStream::connect(addr).is_err());
+    }
+
+    #[test]
+    fn topkn_matches_per_node_topk_and_keeps_stats_invariant() {
+        use crate::client::{ClientError, ServeClient};
+        let (addr, handle, join) = start(ServerConfig::default());
+        let mut c = ServeClient::connect(addr).unwrap();
+        let nodes = [0u32, 2, 3];
+        let (bulk_version, bulk) = c.top_k_bulk(&nodes, 2).unwrap();
+        assert_eq!(bulk.len(), nodes.len());
+        for (queried, (node, answer)) in nodes.iter().zip(&bulk) {
+            assert_eq!(queried, node, "blocks arrive in request order");
+            let (v, single) = c.top_k(*node, 2).unwrap();
+            assert_eq!(v, bulk_version, "one snapshot answers the batch");
+            assert_eq!(single.len(), answer.len());
+            for (a, b) in single.iter().zip(answer) {
+                assert_eq!(a.node, b.node);
+                assert_eq!(
+                    a.score.to_bits(),
+                    b.score.to_bits(),
+                    "bulk and single answers are bit-identical"
+                );
+            }
+        }
+        // A failing node fails the whole batch with one ERR.
+        match c.top_k_bulk(&[0, 999], 2) {
+            Err(ClientError::Server { code: 404, .. }) => {}
+            other => panic!("expected ERR 404, got {other:?}"),
+        }
+        // Malformed TOPKN lines are counted as malformed, and the
+        // STATS invariant holds across every command kind.
+        c.send_raw(b"TOPKN 2\n").unwrap();
+        match c.read_line() {
+            Ok(line) => assert!(line.starts_with("ERR 400"), "{line}"),
+            Err(e) => panic!("{e}"),
+        }
+        let stats = c.stats().unwrap();
+        let header = &stats[0];
+        let get = |key: &str| -> u64 {
+            header
+                .split_ascii_whitespace()
+                .find_map(|f| f.strip_prefix(key))
+                .unwrap_or_else(|| panic!("missing {key} in {header}"))
+                .parse()
+                .unwrap()
+        };
+        assert_eq!(get("topkn="), 2, "one ok + one 404 bulk request");
+        assert_eq!(get("topk="), nodes.len() as u64);
+        assert_eq!(get("malformed="), 1);
+        let per_command: u64 = [
+            "topk=",
+            "topkn=",
+            "link=",
+            "info=",
+            "stats=",
+            "reload=",
+            "quit=",
+            "shutdown=",
+        ]
+        .iter()
+        .map(|k| get(k))
+        .sum();
+        assert_eq!(
+            get("requests="),
+            per_command + get("malformed="),
+            "STATS invariant: requests == Σ per_command + malformed"
+        );
+        drop(c);
+        handle.shutdown();
+        join.join().unwrap();
     }
 
     #[test]

@@ -33,7 +33,8 @@ pub mod theory;
 pub mod trainer;
 pub mod walks;
 
+pub use alias::{AliasTable, AliasTableBuilder};
 pub use model::SkipGramModel;
 pub use perturb::PerturbStrategy;
-pub use subgraph::{generate_subgraphs, NegativeSampling, Subgraph};
+pub use subgraph::{generate_subgraphs, NegativeSampling, Subgraph, SubgraphGen};
 pub use trainer::{TrainConfig, TrainReport, Trainer};

@@ -13,9 +13,12 @@
 //! drawn ∝ degree, Eq. 14) so the ablation harness can contrast
 //! Theorem 3's design against it.
 
-use crate::alias::AliasTable;
-use rand::Rng;
+use crate::alias::{AliasTable, AliasTableBuilder};
+use crate::walks::splitmix64;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use sp_graph::{Graph, NodeId};
+use std::ops::Range;
 
 /// One element of `G_S`: an edge with its pre-drawn negatives.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -42,42 +45,108 @@ pub enum NegativeSampling {
     DegreeProportional,
 }
 
-/// Runs Algorithm 1: one subgraph per edge of `g`, each with `k`
-/// negatives drawn per `sampling`.
+/// Band height for streaming the degree weights into the alias
+/// builder: big enough to amortise the pass, small enough that the
+/// transient band is negligible next to the table itself.
+const DEGREE_BAND: usize = 4096;
+
+/// Algorithm 1 as an *indexable generator*: subgraph `e` is a pure
+/// function of `(graph, k, sampling, base_seed, e)`, derived from a
+/// per-edge `SmallRng` exactly like the seeded walk corpus derives
+/// per-walk streams (see [`crate::walks::walk_rng`]).
 ///
-/// For [`NegativeSampling::UniformNonNeighbor`], a centre adjacent to
-/// every other node has no valid negative; such (pathological,
-/// complete-graph-ish) centres fall back to a uniform node `≠ centre`
-/// so the procedure always terminates — on the paper's sparse graphs
-/// the fallback never triggers.
-pub fn generate_subgraphs<R: Rng + ?Sized>(
-    g: &Graph,
+/// Two consequences:
+/// - **memory**: a consumer can regenerate any subgraph on demand —
+///   O(k) transient per sample — instead of holding the `O(|E|·k)`
+///   set `G_S`, which is the trainer's out-of-core mode
+///   (`TrainConfig::subgraph_shard_edges`);
+/// - **sharding**: [`SubgraphGen::range`] yields any edge-partitioned
+///   shard of `G_S`, and concatenating shards in index order is
+///   identical to [`generate_subgraphs`] over the full edge set.
+#[derive(Clone, Debug)]
+pub struct SubgraphGen<'g> {
+    g: &'g Graph,
     k: usize,
     sampling: NegativeSampling,
-    rng: &mut R,
-) -> Vec<Subgraph> {
-    assert!(k >= 1, "need at least one negative sample");
-    assert!(g.num_nodes() >= 2, "need at least two nodes");
-    let alias = match sampling {
-        NegativeSampling::DegreeProportional => {
-            let w: Vec<f64> = (0..g.num_nodes())
-                .map(|v| g.degree(v as NodeId) as f64)
-                .collect();
-            Some(AliasTable::new(&w))
-        }
-        NegativeSampling::UniformNonNeighbor => None,
-    };
+    alias: Option<AliasTable>,
+    /// `splitmix64(base_seed)`, XORed with the edge index per draw.
+    premixed: u64,
+}
 
-    let mut out = Vec::with_capacity(g.num_edges());
-    for (edge_index, &(u, v)) in g.edges().iter().enumerate() {
-        let mut negatives = Vec::with_capacity(k);
-        for _ in 0..k {
-            let n = match sampling {
+impl<'g> SubgraphGen<'g> {
+    /// A generator over the edges of `g` with `k` negatives per edge.
+    ///
+    /// For [`NegativeSampling::DegreeProportional`] the degree alias
+    /// table is built through the streaming [`AliasTableBuilder`] in
+    /// bands of `DEGREE_BAND` (4096) nodes — bit-identical to the
+    /// materialised construction, without a resident weight vector.
+    ///
+    /// # Panics
+    /// Panics when `k == 0` or the graph has fewer than two nodes.
+    pub fn new(g: &'g Graph, k: usize, sampling: NegativeSampling, base_seed: u64) -> Self {
+        assert!(k >= 1, "need at least one negative sample");
+        assert!(g.num_nodes() >= 2, "need at least two nodes");
+        let alias = match sampling {
+            NegativeSampling::DegreeProportional => {
+                let n = g.num_nodes();
+                let mut b = AliasTableBuilder::new();
+                let mut band = Vec::with_capacity(DEGREE_BAND.min(n));
+                for pass in 0..2 {
+                    let mut start = 0usize;
+                    while start < n {
+                        let end = (start + DEGREE_BAND).min(n);
+                        band.clear();
+                        band.extend((start..end).map(|v| g.degree(v as NodeId) as f64));
+                        if pass == 0 {
+                            b.push_mass(&band);
+                        } else {
+                            b.push_fill(&band);
+                        }
+                        start = end;
+                    }
+                }
+                Some(b.finish())
+            }
+            NegativeSampling::UniformNonNeighbor => None,
+        };
+        Self {
+            g,
+            k,
+            sampling,
+            alias,
+            premixed: splitmix64(base_seed),
+        }
+    }
+
+    /// Number of subgraphs (`|E|`).
+    pub fn len(&self) -> usize {
+        self.g.num_edges()
+    }
+
+    /// True when the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.g.num_edges() == 0
+    }
+
+    /// Regenerates subgraph `edge_index` — always the same output for
+    /// the same generator, no matter what was generated before.
+    ///
+    /// For [`NegativeSampling::UniformNonNeighbor`], a centre adjacent
+    /// to every other node has no valid negative; such (pathological,
+    /// complete-graph-ish) centres fall back to a uniform node
+    /// `≠ centre` so the procedure always terminates — on the paper's
+    /// sparse graphs the fallback never triggers.
+    pub fn generate(&self, edge_index: usize) -> Subgraph {
+        let (u, v) = self.g.edges()[edge_index];
+        let mut rng = SmallRng::seed_from_u64(self.premixed ^ edge_index as u64);
+        let mut negatives = Vec::with_capacity(self.k);
+        for _ in 0..self.k {
+            let n = match self.sampling {
                 NegativeSampling::UniformNonNeighbor => {
-                    g.random_non_neighbor(u, rng).unwrap_or_else(|| {
+                    self.g.random_non_neighbor(u, &mut rng).unwrap_or_else(|| {
                         // Fallback: any node != centre.
                         loop {
-                            let c = g.random_node(rng);
+                            let c = self.g.random_node(&mut rng);
                             if c != u {
                                 break c;
                             }
@@ -85,9 +154,9 @@ pub fn generate_subgraphs<R: Rng + ?Sized>(
                     })
                 }
                 NegativeSampling::DegreeProportional => {
-                    let table = alias.as_ref().expect("alias table built above");
+                    let table = self.alias.as_ref().expect("alias table built in new");
                     loop {
-                        let c = table.sample(rng);
+                        let c = table.sample(&mut rng);
                         if c != u {
                             break c;
                         }
@@ -96,14 +165,38 @@ pub fn generate_subgraphs<R: Rng + ?Sized>(
             };
             negatives.push(n);
         }
-        out.push(Subgraph {
+        Subgraph {
             center: u,
             positive: v,
             negatives,
             edge_index,
-        });
+        }
     }
-    out
+
+    /// One edge-partitioned shard of `G_S`: the subgraphs of the edges
+    /// in `edges`, in index order.
+    pub fn range(&self, edges: Range<usize>) -> Vec<Subgraph> {
+        assert!(edges.end <= self.len(), "edge shard out of bounds");
+        edges.map(|e| self.generate(e)).collect()
+    }
+}
+
+/// Runs Algorithm 1: one subgraph per edge of `g`, each with `k`
+/// negatives drawn per `sampling`.
+///
+/// Draws a single base seed from `rng` and delegates to
+/// [`SubgraphGen`], so each subgraph's randomness depends only on its
+/// edge index — regenerating any shard later (out-of-core training)
+/// reproduces exactly the subgraphs materialised here.
+pub fn generate_subgraphs<R: Rng + ?Sized>(
+    g: &Graph,
+    k: usize,
+    sampling: NegativeSampling,
+    rng: &mut R,
+) -> Vec<Subgraph> {
+    let base_seed: u64 = rng.gen();
+    let gen = SubgraphGen::new(g, k, sampling, base_seed);
+    gen.range(0..g.num_edges())
 }
 
 #[cfg(test)]
@@ -214,6 +307,52 @@ mod tests {
             &mut StdRng::seed_from_u64(7),
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shards_concatenate_to_full_set() {
+        let g = ring(14);
+        let m = g.num_edges();
+        for sampling in [
+            NegativeSampling::UniformNonNeighbor,
+            NegativeSampling::DegreeProportional,
+        ] {
+            let full = generate_subgraphs(&g, 4, sampling, &mut StdRng::seed_from_u64(9));
+            // Same base seed as generate_subgraphs drew.
+            let base: u64 = StdRng::seed_from_u64(9).gen();
+            let gen = SubgraphGen::new(&g, 4, sampling, base);
+            assert_eq!(gen.len(), m);
+            for shard in [1usize, 5, m] {
+                let mut streamed = Vec::new();
+                let mut start = 0;
+                while start < m {
+                    let end = (start + shard).min(m);
+                    streamed.extend(gen.range(start..end));
+                    start = end;
+                }
+                assert_eq!(streamed, full, "{sampling:?} shard={shard}");
+            }
+        }
+    }
+
+    #[test]
+    fn regeneration_is_idempotent_and_order_free() {
+        let g = ring(10);
+        let gen = SubgraphGen::new(&g, 3, NegativeSampling::UniformNonNeighbor, 0xABCD);
+        let forward: Vec<Subgraph> = (0..gen.len()).map(|e| gen.generate(e)).collect();
+        let backward: Vec<Subgraph> = (0..gen.len()).rev().map(|e| gen.generate(e)).collect();
+        for (e, sg) in forward.iter().enumerate() {
+            assert_eq!(*sg, backward[gen.len() - 1 - e]);
+            assert_eq!(*sg, gen.generate(e));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "edge shard out of bounds")]
+    fn range_rejects_out_of_bounds() {
+        let g = ring(5);
+        let gen = SubgraphGen::new(&g, 2, NegativeSampling::UniformNonNeighbor, 1);
+        gen.range(0..99);
     }
 
     #[test]

@@ -18,13 +18,14 @@
 
 use crate::model::{GradBuffer, SkipGramModel};
 use crate::perturb::PerturbStrategy;
-use crate::subgraph::{generate_subgraphs, NegativeSampling};
+use crate::subgraph::{generate_subgraphs, NegativeSampling, Subgraph, SubgraphGen};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use sp_dp::{BudgetedAccountant, GaussianSampler, PrivacyBudget};
 use sp_graph::{Graph, NodeId};
 use sp_linalg::{vector, DenseMatrix};
 use sp_proximity::EdgeProximity;
+use std::borrow::Cow;
 
 /// Hyper-parameters of Algorithm 2. Defaults are the paper's §VI-A
 /// settings (r=128, k=5, B=128, η=0.1, C=2, σ=5, δ=1e-5, ε=3.5,
@@ -72,6 +73,19 @@ pub struct TrainConfig {
     /// the trained model and the privacy spend are byte-identical for
     /// every thread count (asserted by `tests/parallel_determinism.rs`).
     pub threads: Option<usize>,
+    /// Out-of-core subgraph mode. `None` (the default) materialises
+    /// the whole `G_S` up front, as Algorithm 1 is written. `Some(s)`
+    /// keeps only a [`SubgraphGen`] and regenerates each sampled
+    /// subgraph on demand from its edge index — peak subgraph memory
+    /// drops from `O(|E|·k)` to `O(B·k)`; `s` (≥ 1) is the
+    /// edge-partition shard height out-of-core drivers use when they
+    /// walk `G_S` shard-by-shard via [`SubgraphGen::range`] (the
+    /// trainer's own sampling is per-index and ignores the height).
+    ///
+    /// Because every subgraph's randomness is derived from its edge
+    /// index, both modes draw identical subgraphs: the trained model,
+    /// report, and privacy spend are byte-identical for any `s`.
+    pub subgraph_shard_edges: Option<usize>,
 }
 
 impl Default for TrainConfig {
@@ -90,6 +104,7 @@ impl Default for TrainConfig {
             negative_sampling: NegativeSampling::UniformNonNeighbor,
             seed: 0x5EED,
             threads: None,
+            subgraph_shard_edges: None,
         }
     }
 }
@@ -114,6 +129,9 @@ impl TrainConfig {
         }
         if self.threads == Some(0) {
             return Err("threads must be >= 1 when set".into());
+        }
+        if self.subgraph_shard_edges == Some(0) {
+            return Err("subgraph_shard_edges must be >= 1 when set".into());
         }
         if self.strategy.is_private() {
             if self.sigma.is_nan() || self.sigma <= 0.0 {
@@ -231,8 +249,28 @@ impl Trainer {
         );
 
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
-        // Line 2: G_S via Algorithm 1.
-        let subgraphs = generate_subgraphs(g, cfg.negatives, cfg.negative_sampling, &mut rng);
+        // Line 2: G_S via Algorithm 1 — materialised, or (out-of-core
+        // mode) a generator that regenerates each sampled subgraph on
+        // demand. Both consume exactly one base-seed draw from the run
+        // RNG and derive every subgraph from its edge index, so the
+        // two modes see identical subgraphs and identical downstream
+        // RNG streams: the trained model is byte-identical either way.
+        let subgraphs: SubgraphSource<'_> = if cfg.subgraph_shard_edges.is_some() {
+            let base_seed: u64 = rng.gen();
+            SubgraphSource::Streamed(SubgraphGen::new(
+                g,
+                cfg.negatives,
+                cfg.negative_sampling,
+                base_seed,
+            ))
+        } else {
+            SubgraphSource::Materialised(generate_subgraphs(
+                g,
+                cfg.negatives,
+                cfg.negative_sampling,
+                &mut rng,
+            ))
+        };
         // Line 3: initialise Θ (or warm-start from a published model;
         // the fresh init is still drawn to keep the RNG stream — and
         // therefore batch/noise sequences — identical in both paths).
@@ -291,11 +329,11 @@ impl Trainer {
                     // Compute + clip per-example gradients in parallel,
                     // then reduce serially in batch-sample order.
                     let grads = sp_parallel::par_map(&picked, threads, |&i| {
-                        let sg = &subgraphs[i];
+                        let sg = subgraphs.get(i);
                         let p = prox.weights[sg.edge_index];
-                        let loss = if final_epoch { model.loss(sg, p) } else { 0.0 };
+                        let loss = if final_epoch { model.loss(&sg, p) } else { 0.0 };
                         let mut ebuf = GradBuffer::new();
-                        model.example_grad(sg, p, &mut ebuf);
+                        model.example_grad(&sg, p, &mut ebuf);
                         ebuf.clip(cfg.clip);
                         (ebuf, loss)
                     });
@@ -308,13 +346,13 @@ impl Trainer {
                     }
                 } else {
                     for i in idx.iter() {
-                        let sg = &subgraphs[i];
+                        let sg = subgraphs.get(i);
                         let p = prox.weights[sg.edge_index];
                         if final_epoch {
-                            loss_stats.0 += model.loss(sg, p);
+                            loss_stats.0 += model.loss(&sg, p);
                             loss_stats.1 += 1;
                         }
-                        model.example_grad(sg, p, &mut buf);
+                        model.example_grad(&sg, p, &mut buf);
                         buf.clip(cfg.clip);
                         state.accumulate(&buf);
                     }
@@ -402,6 +440,23 @@ impl Trainer {
             }
         }
         state.clear_touched();
+    }
+}
+
+/// Where the trainer's subgraphs come from: the whole materialised
+/// `G_S`, or an on-demand generator (out-of-core mode). Both hand out
+/// the same subgraph for the same index.
+enum SubgraphSource<'g> {
+    Materialised(Vec<Subgraph>),
+    Streamed(SubgraphGen<'g>),
+}
+
+impl SubgraphSource<'_> {
+    fn get(&self, i: usize) -> Cow<'_, Subgraph> {
+        match self {
+            SubgraphSource::Materialised(v) => Cow::Borrowed(&v[i]),
+            SubgraphSource::Streamed(gen) => Cow::Owned(gen.generate(i)),
+        }
     }
 }
 
@@ -496,6 +551,7 @@ mod tests {
             negative_sampling: NegativeSampling::UniformNonNeighbor,
             seed: 99,
             threads: None,
+            subgraph_shard_edges: None,
         }
     }
 
@@ -550,6 +606,31 @@ mod tests {
         let (_, rep) = Trainer::new(cfg).train(&g, &prox);
         assert!(rep.stopped_by_budget);
         assert!(rep.epochs_run < 100);
+    }
+
+    #[test]
+    fn streamed_subgraphs_are_bit_identical_to_materialised() {
+        let g = ring_with_chords(40);
+        let prox = EdgeProximity::compute(&g, ProximityKind::deepwalk_default());
+        for sampling in [
+            NegativeSampling::UniformNonNeighbor,
+            NegativeSampling::DegreeProportional,
+        ] {
+            let mut cfg = quick_config(PerturbStrategy::NonZero);
+            cfg.negative_sampling = sampling;
+            let (mat, mat_rep) = Trainer::new(cfg.clone()).train(&g, &prox);
+            for shard in [1usize, 7, g.num_edges()] {
+                cfg.subgraph_shard_edges = Some(shard);
+                let (st, st_rep) = Trainer::new(cfg.clone()).train(&g, &prox);
+                assert_eq!(mat.w_in.as_slice(), st.w_in.as_slice(), "{sampling:?}");
+                assert_eq!(mat.w_out.as_slice(), st.w_out.as_slice(), "{sampling:?}");
+                assert_eq!(mat_rep.steps_run, st_rep.steps_run);
+                assert_eq!(
+                    mat_rep.epsilon_spent.to_bits(),
+                    st_rep.epsilon_spent.to_bits()
+                );
+            }
+        }
     }
 
     #[test]

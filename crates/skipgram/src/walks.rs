@@ -97,7 +97,7 @@ pub fn corpus_pairs<R: Rng + ?Sized>(
 
 /// One SplitMix64 step — the standard 64-bit finaliser used to spread
 /// a seed over the whole space before per-walk derivation.
-fn splitmix64(mut z: u64) -> u64 {
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -131,13 +131,31 @@ pub fn corpus_pairs_seeded(
     seed: u64,
     threads: Option<usize>,
 ) -> Vec<(NodeId, NodeId)> {
+    let total = g.num_nodes() * cfg.walks_per_node;
+    corpus_pairs_band(g, cfg, seed, 0..total, threads)
+}
+
+/// The pairs of walk indices `walks` only — the out-of-core band of a
+/// seeded corpus. Because each walk's randomness is derived from its
+/// index, concatenating bands of any size in index order is
+/// byte-identical to [`corpus_pairs_seeded`] over the full range, so a
+/// consumer can stream the corpus without ever holding all of it.
+pub fn corpus_pairs_band(
+    g: &Graph,
+    cfg: WalkConfig,
+    seed: u64,
+    walks: std::ops::Range<usize>,
+    threads: Option<usize>,
+) -> Vec<(NodeId, NodeId)> {
     assert!(cfg.window >= 1 && cfg.walk_length >= 1 && cfg.walks_per_node >= 1);
     let total = g.num_nodes() * cfg.walks_per_node;
+    assert!(walks.end <= total, "walk band out of bounds");
+    let base = walks.start;
     let threads = sp_parallel::resolve_threads(threads);
-    let chunk = sp_parallel::default_chunk_size(total, threads);
-    let blocks = sp_parallel::par_map_chunks(total, chunk, threads, |walks| {
+    let chunk = sp_parallel::default_chunk_size(walks.len(), threads);
+    let blocks = sp_parallel::par_map_chunks(walks.len(), chunk, threads, |r| {
         let mut pairs = Vec::new();
-        for widx in walks {
+        for widx in base + r.start..base + r.end {
             let start = (widx / cfg.walks_per_node) as NodeId;
             let mut rng = walk_rng(seed, widx as u64);
             let walk = random_walk(g, start, cfg.walk_length, &mut rng);
@@ -307,6 +325,44 @@ mod tests {
                 .min((*v as i64 - *u as i64).rem_euclid(7));
             assert!(d <= 2, "pair ({u},{v}) at ring distance {d}");
         }
+    }
+
+    #[test]
+    fn corpus_bands_concatenate_to_full_corpus() {
+        let g = cycle(9);
+        let cfg = WalkConfig {
+            walks_per_node: 3,
+            walk_length: 8,
+            window: 2,
+        };
+        let total = g.num_nodes() * cfg.walks_per_node;
+        let full = corpus_pairs_seeded(&g, cfg, 0xBAD5EED, Some(1));
+        for band in [1, 5, total] {
+            for threads in [1, 4] {
+                let mut streamed = Vec::new();
+                let mut start = 0;
+                while start < total {
+                    let end = (start + band).min(total);
+                    streamed.extend(corpus_pairs_band(
+                        &g,
+                        cfg,
+                        0xBAD5EED,
+                        start..end,
+                        Some(threads),
+                    ));
+                    start = end;
+                }
+                assert_eq!(streamed, full, "band={band} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "walk band out of bounds")]
+    fn corpus_band_rejects_out_of_range() {
+        let g = cycle(3);
+        let cfg = WalkConfig::default();
+        corpus_pairs_band(&g, cfg, 1, 0..1000, Some(1));
     }
 
     #[test]

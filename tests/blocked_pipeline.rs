@@ -1,0 +1,289 @@
+//! Determinism contract of the out-of-core (blocked/streamed) pipeline.
+//!
+//! The blocked execution path — row-banded proximity, the two-pass
+//! streaming alias builder, walk-corpus bands, and the edge-sharded
+//! trainer — promises output **bit-identical** to the materialised
+//! path for *any* band/shard/chunk height and *any* thread count.
+//! This suite pins that promise over the cross-product
+//! `heights {1, 7, 64, n} × threads {1, 4}`, and separately shows the
+//! memory claim itself: the tracked blocked working set stays under a
+//! budget that the materialised matrix provably exceeds.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sp_datasets::generators;
+use sp_graph::Graph;
+use sp_linalg::{CsrMatrix, CsrRowBlock};
+use sp_mem::MemTracker;
+use sp_proximity::band::WedgeBander;
+use sp_proximity::{proximity_matrix_threads, EdgeProximity, ProximityKind};
+use sp_skipgram::walks::{corpus_pairs_band, corpus_pairs_seeded, WalkConfig};
+use sp_skipgram::{
+    AliasTable, AliasTableBuilder, NegativeSampling, PerturbStrategy, TrainConfig, Trainer,
+};
+
+/// Band/shard/chunk heights exercised everywhere: degenerate (1), odd
+/// (7), round (64), and "everything in one band" (n, substituted per
+/// test).
+const HEIGHTS: [usize; 3] = [1, 7, 64];
+const THREADS: [usize; 2] = [1, 4];
+
+const WEDGE_KINDS: [ProximityKind; 3] = [
+    ProximityKind::CommonNeighbors,
+    ProximityKind::AdamicAdar,
+    ProximityKind::ResourceAllocation,
+];
+
+/// Small fixed scale-free graph: enough hub structure that wedge rows
+/// have very uneven nnz, which is what makes band boundaries
+/// interesting.
+fn scale_free_graph() -> Graph {
+    let mut rng = StdRng::seed_from_u64(7);
+    generators::barabasi_albert(40, 3, &mut rng)
+}
+
+/// Ring + chords for the trainer runs (same family as the golden
+/// trainer fixture, sized so batches cross shard boundaries).
+fn ring_with_chords(n: usize) -> Graph {
+    let mut edges: Vec<(u32, u32)> = (0..n).map(|i| (i as u32, ((i + 1) % n) as u32)).collect();
+    for i in (0..n).step_by(5) {
+        edges.push((i as u32, ((i + n / 2) % n) as u32));
+    }
+    Graph::from_edges(n, edges)
+}
+
+fn bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Structural + bitwise equality of two CSR matrices (CsrMatrix's
+/// `PartialEq` uses float value equality, which would call `-0.0` and
+/// `0.0` equal; the blocked contract is stronger).
+fn matrices_bit_identical(a: &CsrMatrix, b: &CsrMatrix) -> bool {
+    a.nnz() == b.nnz()
+        && a.iter().zip(b.iter()).all(|((i1, j1, v1), (i2, j2, v2))| {
+            i1 == i2 && j1 == j2 && v1.to_bits() == v2.to_bits()
+        })
+}
+
+fn assemble_banded(g: &Graph, kind: ProximityKind, band_rows: usize, threads: usize) -> CsrMatrix {
+    let bander = WedgeBander::new(g, kind).expect("wedge kind");
+    let n = bander.rows();
+    let mut blocks: Vec<CsrRowBlock> = Vec::new();
+    let mut start = 0;
+    while start < n {
+        let end = (start + band_rows).min(n);
+        blocks.push(bander.band(start..end, Some(threads)));
+        start = end;
+    }
+    CsrMatrix::from_row_blocks(n, n, blocks)
+}
+
+// ---------------------------------------------------------------------------
+// Row-banded proximity matrices
+
+#[test]
+fn banded_wedge_matrices_match_materialized_for_all_heights_and_threads() {
+    let g = scale_free_graph();
+    let n = g.num_nodes();
+    for kind in WEDGE_KINDS {
+        let full = proximity_matrix_threads(&g, kind, Some(1));
+        for band_rows in HEIGHTS.into_iter().chain([n]) {
+            for threads in THREADS {
+                let assembled = assemble_banded(&g, kind, band_rows, threads);
+                assert!(
+                    matrices_bit_identical(&full, &assembled),
+                    "{kind:?}: bands of {band_rows} rows with {threads} threads diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn blocked_edge_proximity_matches_materialized_for_all_heights_and_threads() {
+    let g = scale_free_graph();
+    let n = g.num_nodes();
+    for kind in WEDGE_KINDS {
+        let full = EdgeProximity::compute_threads(&g, kind, Some(1));
+        for band_rows in HEIGHTS.into_iter().chain([n]) {
+            for threads in THREADS {
+                let blocked =
+                    EdgeProximity::compute_blocked(&g, kind, band_rows, Some(threads), None);
+                assert!(
+                    bits_equal(&full.weights, &blocked.weights),
+                    "{kind:?}: blocked weights (band {band_rows}, {threads} threads) diverged"
+                );
+                assert_eq!(
+                    full.min_positive.to_bits(),
+                    blocked.min_positive.to_bits(),
+                    "{kind:?}: blocked min_positive (band {band_rows}) diverged"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming alias builder
+
+#[test]
+fn streamed_alias_tables_match_materialized_for_all_chunk_heights() {
+    let g = scale_free_graph();
+    let prox = EdgeProximity::compute(&g, ProximityKind::CommonNeighbors);
+    let reference = AliasTable::new(&prox.weights);
+    for chunk in HEIGHTS.into_iter().chain([prox.weights.len()]) {
+        let mut builder = AliasTableBuilder::new();
+        for c in prox.weights.chunks(chunk) {
+            builder.push_mass(c);
+        }
+        for c in prox.weights.chunks(chunk) {
+            builder.push_fill(c);
+        }
+        let streamed = builder.finish();
+        let (ref_prob, ref_alias) = reference.buckets();
+        let (st_prob, st_alias) = streamed.buckets();
+        assert!(
+            bits_equal(ref_prob, st_prob),
+            "alias probabilities diverged at chunk height {chunk}"
+        );
+        assert_eq!(
+            ref_alias, st_alias,
+            "alias outcomes diverged at chunk height {chunk}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Walk-corpus bands
+
+#[test]
+fn corpus_bands_concatenate_to_the_seeded_corpus() {
+    let g = scale_free_graph();
+    let cfg = WalkConfig {
+        walks_per_node: 3,
+        walk_length: 10,
+        window: 2,
+    };
+    let seed = 0xC0FFEE;
+    let total = g.num_nodes() * cfg.walks_per_node;
+    let reference = corpus_pairs_seeded(&g, cfg, seed, Some(1));
+    for band in HEIGHTS.into_iter().chain([total]) {
+        for threads in THREADS {
+            let mut streamed = Vec::new();
+            let mut start = 0;
+            while start < total {
+                let end = (start + band).min(total);
+                streamed.extend(corpus_pairs_band(&g, cfg, seed, start..end, Some(threads)));
+                start = end;
+            }
+            assert_eq!(
+                reference, streamed,
+                "corpus bands of {band} walks with {threads} threads diverged"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Edge-sharded trainer
+
+fn shard_train_config(shard: Option<usize>, threads: usize) -> TrainConfig {
+    TrainConfig {
+        dim: 16,
+        negatives: 3,
+        batch_size: 16,
+        learning_rate: 0.1,
+        clip: 1.0,
+        sigma: 5.0,
+        epsilon: 3.5,
+        delta: 1e-5,
+        epochs: 2,
+        strategy: PerturbStrategy::NonZero,
+        negative_sampling: NegativeSampling::UniformNonNeighbor,
+        seed: 0xD5EED,
+        threads: Some(threads),
+        subgraph_shard_edges: shard,
+    }
+}
+
+#[test]
+fn sharded_trainer_matches_materialized_for_all_shard_heights_and_threads() {
+    let g = ring_with_chords(60);
+    let prox = EdgeProximity::compute(&g, ProximityKind::CommonNeighbors);
+    let (ref_model, ref_report) = Trainer::new(shard_train_config(None, 1)).train(&g, &prox);
+    for shard in HEIGHTS.into_iter().chain([g.num_edges()]) {
+        for threads in THREADS {
+            let (model, report) =
+                Trainer::new(shard_train_config(Some(shard), threads)).train(&g, &prox);
+            assert!(
+                bits_equal(ref_model.w_in.as_slice(), model.w_in.as_slice()),
+                "sharded w_in (shard {shard}, {threads} threads) diverged"
+            );
+            assert!(
+                bits_equal(ref_model.w_out.as_slice(), model.w_out.as_slice()),
+                "sharded w_out (shard {shard}, {threads} threads) diverged"
+            );
+            // The privacy accounting must be byte-identical too: same
+            // step count, same spent budget, bit for bit.
+            assert_eq!(ref_report.steps_run, report.steps_run);
+            assert_eq!(ref_report.epochs_run, report.epochs_run);
+            assert_eq!(
+                ref_report.epsilon_spent.to_bits(),
+                report.epsilon_spent.to_bits(),
+                "accountant state (shard {shard}, {threads} threads) diverged"
+            );
+            assert_eq!(
+                ref_report.delta_spent.to_bits(),
+                report.delta_spent.to_bits()
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The memory claim itself
+
+#[test]
+fn blocked_proximity_fits_a_budget_the_materialized_matrix_exceeds() {
+    // Ring + 2 chords per node: degree 6, so the CN matrix holds
+    // roughly n·d² ≈ 200k entries — ~2.5 MiB materialised, while a
+    // 64-row band is a few tens of KiB.
+    let n = 6000usize;
+    let mut edges: Vec<(u32, u32)> = (0..n).map(|i| (i as u32, ((i + 1) % n) as u32)).collect();
+    for i in 0..n {
+        edges.push((i as u32, ((i + n / 3) % n) as u32));
+        edges.push((i as u32, ((i + 2 * n / 5 + 1) % n) as u32));
+    }
+    let g = Graph::from_edges(n, edges);
+
+    const CAP_BYTES: u64 = 1 << 20; // 1 MiB working-set budget
+
+    let materialized = proximity_matrix_threads(&g, ProximityKind::CommonNeighbors, Some(1));
+    assert!(
+        materialized.heap_bytes() > CAP_BYTES,
+        "materialised CN matrix ({} bytes) no longer exceeds the {CAP_BYTES} byte cap — \
+         grow the fixture",
+        materialized.heap_bytes()
+    );
+
+    let tracker = MemTracker::new();
+    let blocked = EdgeProximity::compute_blocked(
+        &g,
+        ProximityKind::CommonNeighbors,
+        64,
+        Some(1),
+        Some(&tracker),
+    );
+    assert!(
+        tracker.peak() <= CAP_BYTES,
+        "blocked band working set peaked at {} bytes, over the {CAP_BYTES} byte cap",
+        tracker.peak()
+    );
+    assert_eq!(tracker.current(), 0, "every band should have been released");
+
+    // Cheaper AND bit-identical.
+    let full = EdgeProximity::compute_threads(&g, ProximityKind::CommonNeighbors, Some(1));
+    assert!(bits_equal(&full.weights, &blocked.weights));
+    assert_eq!(full.min_positive.to_bits(), blocked.min_positive.to_bits());
+}

@@ -125,8 +125,16 @@ const GOLDEN_DEG_MIN_BITS: u64 = 0x3fbde27703a412ea;
 // left-to-right order; elementwise kernels axpy/scale are
 // bit-identical, so the drift enters only through dot-product scores
 // and clip norms). STEPS and EPS are order-independent and unchanged.
-const GOLDEN_TRAIN_W_IN: u64 = 0x6e0f64f99a8125eb;
-const GOLDEN_TRAIN_W_OUT: u64 = 0x351e270431e0a7f6;
+// Re-pinned again when `generate_subgraphs` switched to the
+// shard-addressable `SubgraphGen` scheme: the run RNG now yields one
+// base seed up front and each edge derives its own splitmix64-mixed
+// stream, which legitimately changes every negative-sample draw (and
+// hence the trained weights) while keeping the determinism contract —
+// materialised and streamed shards of any height stay bit-identical.
+// STEPS and EPS depend only on the accountant schedule and are
+// unchanged.
+const GOLDEN_TRAIN_W_IN: u64 = 0x0eadb821fe3f7083;
+const GOLDEN_TRAIN_W_OUT: u64 = 0x6a612b00aedfe9d6;
 const GOLDEN_TRAIN_STEPS: u64 = 6;
 const GOLDEN_TRAIN_EPS_BITS: u64 = 0x4003c53506d06d1a;
 // Pinned at introduction of the seeded corpus (threads=1 == threads=4
