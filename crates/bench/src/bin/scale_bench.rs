@@ -116,6 +116,8 @@ impl Scenario {
             seed: 0x5CA1E,
             threads: None,
             subgraph_shard_edges: shard,
+            checkpoint_every: None,
+            checkpoint_dir: None,
         }
     }
 }

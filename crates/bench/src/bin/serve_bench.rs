@@ -20,7 +20,10 @@ use sp_serve::{
 use std::io::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// A hung loopback accept must fail the bench run, not wedge CI.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// BlogCatalog's published node count: the smallest "real" scale the
 /// paper evaluates, and the floor the acceptance gate names (>=10k).
@@ -213,7 +216,8 @@ fn tcp_closed_loop(
     let server_thread = std::thread::spawn(move || server.run().expect("bench server run"));
 
     {
-        let mut client = ServeClient::connect(addr).expect("connect probe client");
+        let mut client =
+            ServeClient::connect_timeout(addr, CONNECT_TIMEOUT).expect("connect probe client");
         let (_, tcp_answer) = client.top_k(probe, K).expect("probe TOPK");
         assert_eq!(tcp_answer.len(), reference.len());
         for (a, b) in tcp_answer.iter().zip(reference.iter()) {
@@ -233,7 +237,8 @@ fn tcp_closed_loop(
             let latencies = &latencies;
             let issued = &issued;
             scope.spawn(move || {
-                let mut client = ServeClient::connect(addr).expect("connect load client");
+                let mut client = ServeClient::connect_timeout(addr, CONNECT_TIMEOUT)
+                    .expect("connect load client");
                 let mut local = Vec::new();
                 for _ in 0..rounds {
                     for (i, &q) in queries.iter().enumerate() {

@@ -64,6 +64,9 @@ struct Args {
     proximity: ProximityKind,
     seed: u64,
     non_private: bool,
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_every: u64,
+    resume: bool,
 }
 
 struct QueryArgs {
@@ -81,8 +84,13 @@ fn usage() -> &'static str {
      \t[--output-format tsv|model] [--data-dir <dir>] [--scale 1.0] [--dim 128]\n\
      \t[--epsilon 3.5] [--delta 1e-5] [--epochs 200] [--proximity dw|deg|cn|aa|ra|pa]\n\
      \t[--seed 1] [--non-private]\n\
+     \t[--checkpoint-dir <dir> [--checkpoint-every 1000] [--resume]]\n\
      \t<name>: chameleon|ppi|power|arxiv|blogcatalog|dblp (real file from\n\
      \t--data-dir when present, seeded synthetic stand-in otherwise)\n\
+     \t--checkpoint-dir persists crash-safe .spc training checkpoints every\n\
+     \t--checkpoint-every optimizer steps; --resume continues from the newest\n\
+     \tvalid checkpoint and produces a bit-identical model and ε to an\n\
+     \tuninterrupted run.\n\
      \n\
      usage: se_privgemb_cli query --model <file.spm> (--node <id> | --link <u> <v>)\n\
      \t[--k 10] [--ivf-nlist <n> [--nprobe <p>]] [--check-recall <min>]\n\
@@ -126,6 +134,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         proximity: ProximityKind::deepwalk_default(),
         seed: 1,
         non_private: false,
+        checkpoint_dir: None,
+        checkpoint_every: 1000,
+        resume: false,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -182,10 +193,26 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
             }
             "--non-private" => args.non_private = true,
+            "--checkpoint-dir" => args.checkpoint_dir = Some(PathBuf::from(value(&mut i)?)),
+            "--checkpoint-every" => {
+                args.checkpoint_every = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?
+            }
+            "--resume" => args.resume = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
         i += 1;
+    }
+    if args.checkpoint_dir.is_none() && args.resume {
+        return Err(format!(
+            "--resume requires --checkpoint-dir (where checkpoints live)\n{}",
+            usage()
+        ));
+    }
+    if args.checkpoint_every == 0 {
+        return Err("--checkpoint-every must be at least 1".to_string());
     }
     if args.input.is_empty() == args.dataset.is_none() {
         return Err(format!(
@@ -449,7 +476,25 @@ fn run_train(argv: &[String]) -> Result<(), String> {
     } else {
         builder = builder.epsilon(args.epsilon).delta(args.delta);
     }
-    let result = builder.build().fit(&g);
+    let result = match &args.checkpoint_dir {
+        None => builder.build().fit(&g),
+        Some(dir) => {
+            let run = builder
+                .checkpoint_every(args.checkpoint_every)
+                .checkpoint_dir(dir.clone())
+                .build()
+                .fit_checkpointed(&g, args.resume)
+                .map_err(|e| format!("checkpointed training failed: {e}"))?;
+            match &run.resumed_from {
+                Some(path) => eprintln!("resumed from {}", path.display()),
+                None if args.resume => {
+                    eprintln!("no checkpoint under {}; starting fresh", dir.display())
+                }
+                None => {}
+            }
+            run.result
+        }
+    };
     eprintln!(
         "trained: {} epochs ({} steps), ε spent = {:.4}, stopped by budget: {}",
         result.report.epochs_run,

@@ -54,7 +54,7 @@ pub mod attributes;
 pub mod pipeline;
 pub mod presets;
 
-pub use pipeline::{EmbeddingResult, SePrivGEmb, SePrivGEmbBuilder};
+pub use pipeline::{CheckpointedEmbedding, EmbeddingResult, SePrivGEmb, SePrivGEmbBuilder};
 pub use sp_proximity::ProximityKind;
 pub use sp_skipgram::{NegativeSampling, PerturbStrategy, TrainConfig, TrainReport};
 

@@ -2,10 +2,13 @@
 
 use sp_graph::Graph;
 use sp_linalg::DenseMatrix;
+use sp_model::checkpoint::train_with_checkpoints;
+use sp_model::ModelError;
 use sp_proximity::{EdgeProximity, ProximityKind};
 use sp_skipgram::{
     NegativeSampling, PerturbStrategy, SkipGramModel, TrainConfig, TrainReport, Trainer,
 };
+use std::path::PathBuf;
 
 /// A configured SE-PrivGEmb instance. Construct with
 /// [`SePrivGEmb::builder`]; run with [`SePrivGEmb::fit`].
@@ -115,6 +118,23 @@ impl SePrivGEmbBuilder {
         self
     }
 
+    /// Persist a `.spc` training checkpoint every `steps` optimizer
+    /// steps (unset by default). Takes effect through
+    /// [`SePrivGEmb::fit_checkpointed`] together with
+    /// [`SePrivGEmbBuilder::checkpoint_dir`]; cadence never changes
+    /// the fitted model — only how often progress is made durable.
+    pub fn checkpoint_every(mut self, steps: u64) -> Self {
+        self.train.checkpoint_every = Some(steps);
+        self
+    }
+
+    /// Directory that receives `.spc` checkpoints (and is scanned on
+    /// resume). Created on first use.
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.train.checkpoint_dir = Some(dir.into());
+        self
+    }
+
     /// Worker threads for the proximity build and the per-example
     /// gradient pass (default: the `SP_THREADS` environment variable,
     /// then the available parallelism). The fitted model is
@@ -155,6 +175,17 @@ impl EmbeddingResult {
     pub fn embeddings(&self) -> &DenseMatrix {
         &self.model.w_in
     }
+}
+
+/// A crash-safe fit's artefacts: the trained result plus where (if
+/// anywhere) the run resumed from.
+#[derive(Clone, Debug)]
+pub struct CheckpointedEmbedding {
+    /// The trained artefacts — bit-identical to an uninterrupted
+    /// [`SePrivGEmb::fit`] of the same configuration.
+    pub result: EmbeddingResult,
+    /// The `.spc` checkpoint this run resumed from, when one existed.
+    pub resumed_from: Option<PathBuf>,
 }
 
 impl SePrivGEmb {
@@ -206,6 +237,39 @@ impl SePrivGEmb {
             report,
             proximity: prox,
         }
+    }
+
+    /// Crash-safe [`SePrivGEmb::fit`]: persists a `.spc` checkpoint
+    /// every [`SePrivGEmbBuilder::checkpoint_every`] steps into
+    /// [`SePrivGEmbBuilder::checkpoint_dir`], and — when `resume` is
+    /// set — continues from the newest valid checkpoint found there.
+    ///
+    /// Resumed runs are bit-identical to an uninterrupted fit of the
+    /// same configuration, including the privacy accountant: the raw
+    /// RDP curve is restored from the snapshot, never re-spent, so the
+    /// composed ε across any crash/resume sequence equals the
+    /// uninterrupted run's and stays within budget.
+    ///
+    /// # Errors
+    /// `Io(InvalidInput)` when no `checkpoint_dir` was configured;
+    /// otherwise checkpoint IO failures or an `InvalidData` fingerprint
+    /// mismatch (resuming against a different config or graph).
+    pub fn fit_checkpointed(
+        &self,
+        g: &Graph,
+        resume: bool,
+    ) -> Result<CheckpointedEmbedding, ModelError> {
+        let prox = EdgeProximity::compute_threads(g, self.proximity, self.train.threads);
+        let trainer = Trainer::new(self.train.clone());
+        let run = train_with_checkpoints(&trainer, g, &prox, None, resume)?;
+        Ok(CheckpointedEmbedding {
+            result: EmbeddingResult {
+                model: run.model,
+                report: run.report,
+                proximity: prox,
+            },
+            resumed_from: run.resumed_from,
+        })
     }
 }
 
@@ -320,6 +384,8 @@ mod tests {
             .negative_sampling(NegativeSampling::DegreeProportional)
             .seed(5)
             .threads(2)
+            .checkpoint_every(500)
+            .checkpoint_dir("/tmp/ckpts")
             .proximity(ProximityKind::Degree)
             .build();
         let c = m.train_config();
@@ -336,6 +402,42 @@ mod tests {
         assert_eq!(c.negative_sampling, NegativeSampling::DegreeProportional);
         assert_eq!(c.seed, 5);
         assert_eq!(c.threads, Some(2));
+        assert_eq!(c.checkpoint_every, Some(500));
+        assert_eq!(
+            c.checkpoint_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/ckpts"))
+        );
+    }
+
+    #[test]
+    fn fit_checkpointed_matches_fit_bit_for_bit() {
+        let g = two_cliques_bridge(6);
+        let dir = std::env::temp_dir().join(format!("se_privgemb_ckpt_{}", std::process::id()));
+        let model = quick_builder()
+            .checkpoint_every(2)
+            .checkpoint_dir(&dir)
+            .build();
+        let plain = quick_builder().build().fit(&g);
+        let checkpointed = model.fit_checkpointed(&g, false).unwrap();
+        assert!(checkpointed.resumed_from.is_none());
+        assert_eq!(
+            plain.embeddings().as_slice(),
+            checkpointed.result.embeddings().as_slice(),
+            "checkpoint cadence must never change the fitted model"
+        );
+        assert_eq!(
+            plain.report.epsilon_spent.to_bits(),
+            checkpointed.result.report.epsilon_spent.to_bits()
+        );
+        // A second run resumes from the durable trail and still lands
+        // on the identical model.
+        let resumed = model.fit_checkpointed(&g, true).unwrap();
+        assert!(resumed.resumed_from.is_some());
+        assert_eq!(
+            plain.embeddings().as_slice(),
+            resumed.result.embeddings().as_slice()
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

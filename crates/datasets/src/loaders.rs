@@ -297,6 +297,7 @@ pub fn load_node_labels_bytes(bytes: &[u8]) -> Result<HashMap<u64, Vec<u32>>, Lo
 /// Loads a node-label sidecar file (gzip-transparent); see
 /// [`load_node_labels_bytes`].
 pub fn load_node_labels(path: &Path) -> Result<HashMap<u64, Vec<u32>>, LoadError> {
+    sp_fault::inject(sp_fault::sites::DATASET_READ).map_err(std::io::Error::from)?;
     let bytes = std::fs::read(path)?;
     load_node_labels_bytes(&bytes)
 }

@@ -489,6 +489,7 @@ impl<R: Read> Read for GzipStreamReader<R> {
 /// [`GzipStreamReader`], anything else streams as-is. Either way the
 /// memory held is a couple of fixed-size buffers, not the file.
 pub fn open_edge_stream(path: &Path) -> io::Result<Box<dyn BufRead>> {
+    sp_fault::inject(sp_fault::sites::DATASET_READ)?;
     let file = File::open(path)?;
     let mut raw = BufReader::new(file);
     let head = raw.fill_buf()?;

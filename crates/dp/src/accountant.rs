@@ -126,6 +126,38 @@ impl RdpAccountant {
         self.orders.iter().copied().zip(self.rdp.iter().copied())
     }
 
+    /// Largest order on the grid.
+    pub fn max_order(&self) -> u64 {
+        *self.orders.last().expect("non-empty grid")
+    }
+
+    /// The raw accumulated RDP values, parallel to orders `2..=max`.
+    /// Together with [`RdpAccountant::steps`] this is the accountant's
+    /// full state — the checkpoint layer serialises these bits so a
+    /// resumed run never re-spends privacy already accounted for.
+    pub fn rdp_raw(&self) -> &[f64] {
+        &self.rdp
+    }
+
+    /// Rebuilds an accountant bit-exactly from [`RdpAccountant::rdp_raw`]
+    /// and [`RdpAccountant::steps`] snapshots. Fails if the vector does
+    /// not match the `2..=max_order` grid.
+    pub fn from_raw(max_order: u64, rdp: Vec<f64>, steps: u64) -> Result<Self, String> {
+        let fresh = Self::new(max_order);
+        if rdp.len() != fresh.orders.len() {
+            return Err(format!(
+                "rdp state has {} entries, grid 2..={max_order} needs {}",
+                rdp.len(),
+                fresh.orders.len()
+            ));
+        }
+        Ok(Self {
+            orders: fresh.orders,
+            rdp,
+            steps,
+        })
+    }
+
     /// Folds another accountant's accumulated loss into this one —
     /// sequential composition across *shards* of a mechanism (each
     /// shard accounts its own steps locally; the driver absorbs them in
@@ -266,6 +298,43 @@ impl BudgetedAccountant {
     /// The bound budget.
     pub fn budget(&self) -> PrivacyBudget {
         self.budget
+    }
+
+    /// The raw RDP state, for checkpointing (see
+    /// [`RdpAccountant::rdp_raw`]).
+    pub fn rdp_raw(&self) -> &[f64] {
+        self.inner.rdp_raw()
+    }
+
+    /// Largest order on the inner grid.
+    pub fn max_order(&self) -> u64 {
+        self.inner.max_order()
+    }
+
+    /// Rebinds a checkpointed accountant state to `(budget, gamma,
+    /// sigma)`, bit-exactly. Restoring the exact accumulated RDP vector
+    /// (rather than replaying `steps` additions) is what guarantees a
+    /// crash/resume sequence composes to exactly the ε of the
+    /// uninterrupted run — budget can never be double-spent.
+    pub fn resume(
+        budget: PrivacyBudget,
+        gamma: f64,
+        sigma: f64,
+        max_order: u64,
+        rdp: Vec<f64>,
+        steps: u64,
+    ) -> Result<Self, String> {
+        let mut acc = Self::new(budget, gamma, sigma);
+        let inner = RdpAccountant::from_raw(max_order, rdp, steps)?;
+        if inner.rdp.len() != acc.per_step.len() {
+            // `new` builds its per-step curve on the default grid; a
+            // snapshot from a different grid would zip against it.
+            return Err(format!(
+                "checkpointed grid 2..={max_order} does not match the default grid 2..={DEFAULT_ORDERS_MAX}"
+            ));
+        }
+        acc.inner = inner;
+        Ok(acc)
     }
 }
 

@@ -23,6 +23,20 @@ impl GaussianSampler {
         Self::default()
     }
 
+    /// The cached spare deviate, if any. The polar method produces
+    /// pairs and hands out the second sample on the next call, so the
+    /// spare is part of the sampler's resumable state: a checkpoint
+    /// that dropped it would shift every subsequent noise draw.
+    pub fn spare(&self) -> Option<f64> {
+        self.spare
+    }
+
+    /// Rebuilds a sampler from a checkpointed [`GaussianSampler::spare`],
+    /// bit-exact.
+    pub fn from_spare(spare: Option<f64>) -> Self {
+        Self { spare }
+    }
+
     /// Draws one `N(0, 1)` sample.
     pub fn standard<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
         if let Some(s) = self.spare.take() {

@@ -34,7 +34,9 @@
 #![warn(missing_docs)]
 
 use se_privgemb::ProximityKind;
+use sp_fault::retry::{transient_io, RetryPolicy};
 use sp_graph::Graph;
+use sp_model::checkpoint::train_with_checkpoints;
 use sp_model::{ModelError, ModelFile, Provenance};
 use sp_proximity::EdgeProximity;
 use sp_serve::{IvfConfig, ServingStore};
@@ -96,6 +98,11 @@ pub struct DynamicConfig {
     pub allocation: BudgetAllocation,
     /// Warm-start each snapshot from the previous published model.
     pub warm_start: bool,
+    /// Retry policy for transient publish-IO failures in
+    /// [`DynamicEmbedder::fit_and_serve`] (interrupted writes, torn
+    /// connections). Permanent errors — missing directories, denied
+    /// permissions, corrupt payloads — abort on the first attempt.
+    pub publish_retry: RetryPolicy,
 }
 
 impl Default for DynamicConfig {
@@ -107,6 +114,7 @@ impl Default for DynamicConfig {
             total_delta: 1e-5,
             allocation: BudgetAllocation::Uniform,
             warm_start: true,
+            publish_retry: RetryPolicy::default(),
         }
     }
 }
@@ -169,9 +177,15 @@ impl DynamicEmbedder {
     /// Total privacy: by sequential composition the published sequence
     /// satisfies `(Σ ε_t, Σ δ_t) = (total_epsilon, total_delta)`
     /// node-level DP.
+    ///
+    /// # Panics
+    /// When `base.checkpoint_every` and `base.checkpoint_dir` are both
+    /// set and a checkpoint write fails — in-memory-only training is
+    /// otherwise infallible. Use [`DynamicEmbedder::fit_and_serve`] to
+    /// handle IO errors as values.
     pub fn fit(&self, snapshots: &[Graph]) -> Vec<SnapshotResult> {
         self.fit_each(snapshots, |_| Ok(()))
-            .expect("infallible publish hook")
+            .expect("checkpoint write failed during fit()")
     }
 
     /// [`DynamicEmbedder::fit`] plus live publication: after each
@@ -182,7 +196,12 @@ impl DynamicEmbedder {
     /// first (outside the swap lock, so queries keep flowing against
     /// the previous generation during the build).
     ///
-    /// On error the snapshots already published remain served; the
+    /// Transient publish-IO failures (interrupted/timed-out writes,
+    /// reset connections) are retried under
+    /// [`DynamicConfig::publish_retry`] with deterministic jittered
+    /// backoff; permanent errors — missing directories, permission
+    /// denials, corrupt payloads — abort on the first attempt. On
+    /// error the snapshots already published remain served; the
     /// returned error says which write failed.
     pub fn fit_and_serve(
         &self,
@@ -191,10 +210,16 @@ impl DynamicEmbedder {
         serving: &ServingStore,
         ivf: Option<IvfConfig>,
     ) -> Result<Vec<SnapshotResult>, ModelError> {
+        let policy = self.config.publish_retry.clone();
         self.fit_each(snapshots, |result| {
-            result.model_file().write_atomic(model_path)?;
-            serving.reload_from(model_path, ivf, self.config.base.threads)?;
-            Ok(())
+            policy.run(
+                |e: &ModelError| matches!(e, ModelError::Io(ioe) if transient_io(ioe.kind())),
+                || {
+                    result.model_file().write_atomic(model_path)?;
+                    serving.reload_from(model_path, ivf, self.config.base.threads)?;
+                    Ok(())
+                },
+            )
         })
     }
 
@@ -228,6 +253,12 @@ impl DynamicEmbedder {
             cfg.epsilon = eps_shares[t];
             cfg.delta = delta_share;
             cfg.seed = self.config.base.seed.wrapping_add(t as u64);
+            // Each snapshot trains under its own seed, ε share, and
+            // warm start, so checkpoints from different snapshots are
+            // never interchangeable: give each its own subdirectory.
+            if let Some(base_dir) = &self.config.base.checkpoint_dir {
+                cfg.checkpoint_dir = Some(base_dir.join(format!("snapshot-{t:04}")));
+            }
             let snapshot_seed = cfg.seed;
             // Honour the configured thread knob for the per-snapshot
             // proximity build too (publishers often run inside their
@@ -235,9 +266,20 @@ impl DynamicEmbedder {
             let prox =
                 EdgeProximity::compute_threads(g, self.config.proximity, self.config.base.threads);
             let trainer = Trainer::new(cfg);
-            let (model, report) = match (&previous, self.config.warm_start) {
-                (Some(prev), true) => trainer.train_from(g, &prox, prev.clone()),
-                _ => trainer.train(g, &prox),
+            let initial = match (&previous, self.config.warm_start) {
+                (Some(prev), true) => Some(prev.clone()),
+                _ => None,
+            };
+            let (model, report) = if trainer.config().checkpoint_every.is_some()
+                && trainer.config().checkpoint_dir.is_some()
+            {
+                let run = train_with_checkpoints(&trainer, g, &prox, initial, true)?;
+                (run.model, run.report)
+            } else {
+                match initial {
+                    Some(prev) => trainer.train_from(g, &prox, prev),
+                    None => trainer.train(g, &prox),
+                }
             };
             let drift = previous
                 .as_ref()

@@ -45,6 +45,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
+
 use sp_linalg::DenseMatrix;
 use sp_skipgram::SkipGramModel;
 use std::fmt;
@@ -509,9 +511,23 @@ impl ModelFile {
 /// republish the same path simultaneously — each write lands in its
 /// own temp file and the last rename wins with a complete payload.
 pub fn write_bytes_atomic(path: &Path, bytes: &[u8]) -> Result<(), ModelError> {
+    write_bytes_atomic_site(sp_fault::sites::MODEL_WRITE, path, bytes)
+}
+
+/// [`write_bytes_atomic`] with an explicit fault-injection site, so
+/// checkpoint writes and model writes can be killed independently by a
+/// fault plan. A no-op single atomic load when `SP_FAULT_PLAN` is
+/// unset.
+pub(crate) fn write_bytes_atomic_site(
+    site: &str,
+    path: &Path,
+    bytes: &[u8],
+) -> Result<(), ModelError> {
     use std::io::Write as _;
     use std::sync::atomic::{AtomicU64, Ordering};
     static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    sp_fault::inject(site).map_err(std::io::Error::from)?;
 
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let file_name = path.file_name().ok_or_else(|| {

@@ -9,6 +9,7 @@
 
 use crate::protocol::PROTOCOL_VERSION;
 use crate::store::Neighbor;
+use sp_fault::retry::{transient_io, RetryPolicy};
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -82,7 +83,73 @@ pub struct ServeClient {
 impl ServeClient {
     /// Connects and validates the greeting.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
-        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Like [`ServeClient::connect`], but bounds the TCP connect to
+    /// `timeout` **per resolved address** via
+    /// `TcpStream::connect_timeout` — a dead or black-holed server
+    /// fails fast instead of hanging on the OS default (minutes on
+    /// most platforms). Addresses are tried in resolution order; the
+    /// last failure is returned if none succeeds.
+    pub fn connect_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<Self, ClientError> {
+        let mut last: Option<std::io::Error> = None;
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, timeout) {
+                Ok(stream) => return Self::from_stream(stream),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ClientError::Io(last.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to no socket addresses",
+            )
+        })))
+    }
+
+    /// [`ServeClient::connect_timeout`] with bounded retry under
+    /// `policy`: transient connect/greeting failures (refused while the
+    /// server restarts, reset, a connection dropped before the
+    /// greeting) are absorbed with the policy's deterministic jittered
+    /// backoff; permanent errors and protocol errors surface
+    /// immediately.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+        policy: &RetryPolicy,
+    ) -> Result<Self, ClientError> {
+        policy.run(
+            |e: &ClientError| matches!(e, ClientError::Io(io) if transient_io(io.kind())),
+            || Self::connect_timeout(&addr, timeout),
+        )
+    }
+
+    /// Runs `op` against a fresh connection, reconnecting (with
+    /// `policy`'s backoff) when the attempt dies on a transient IO
+    /// error — the graceful-degradation loop for callers that can
+    /// replay an idempotent request, e.g. a query retried across a
+    /// server restart. Each attempt gets a new connection, so no torn
+    /// protocol state leaks between tries.
+    pub fn with_retry<T>(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+        policy: &RetryPolicy,
+        mut op: impl FnMut(&mut ServeClient) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        policy.run(
+            |e: &ClientError| matches!(e, ClientError::Io(io) if transient_io(io.kind())),
+            || {
+                let mut client = Self::connect_timeout(&addr, timeout)?;
+                op(&mut client)
+            },
+        )
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<Self, ClientError> {
         stream.set_nodelay(true).ok();
         let mut client = Self {
             reader: BufReader::new(stream.try_clone()?),

@@ -42,6 +42,7 @@ pub struct ServerMetrics {
     requests: AtomicU64,
     errors: AtomicU64,
     malformed: AtomicU64,
+    reload_failed: AtomicU64,
     per_command: [AtomicU64; COMMAND_NAMES.len()],
     latency: [AtomicU64; LATENCY_BUCKETS],
     generation_hits: Mutex<BTreeMap<u64, u64>>,
@@ -64,6 +65,7 @@ impl ServerMetrics {
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             malformed: AtomicU64::new(0),
+            reload_failed: AtomicU64::new(0),
             per_command: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
             generation_hits: Mutex::new(BTreeMap::new()),
@@ -150,6 +152,15 @@ impl ServerMetrics {
         }
     }
 
+    /// A `RELOAD` failed (missing, torn, or corrupt model file); the
+    /// server kept answering from the last-good generation. Counted in
+    /// addition to the request's normal `errors` attribution, so the
+    /// `requests == Σ per_command + malformed` invariant is untouched —
+    /// this is a dedicated degradation signal, not a request class.
+    pub(crate) fn record_reload_failed(&self) {
+        self.reload_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn bucket_of(micros: u64) -> usize {
         ((64 - micros.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
     }
@@ -169,6 +180,7 @@ impl ServerMetrics {
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             malformed: self.malformed.load(Ordering::Relaxed),
+            reload_failed: self.reload_failed.load(Ordering::Relaxed),
             per_command: COMMAND_NAMES
                 .iter()
                 .zip(&self.per_command)
@@ -224,6 +236,11 @@ pub struct MetricsSnapshot {
     /// Requests that could not be attributed to any command: parse
     /// errors, oversized lines, idle-timeout evictions.
     pub malformed: u64,
+    /// `RELOAD` commands that failed (missing/torn/corrupt model file)
+    /// while the server kept serving the last-good generation. A
+    /// degradation signal on top of the request counters: each such
+    /// request still counts once under `reload`/`errors`.
+    pub reload_failed: u64,
     /// Requests per protocol command, `(name, count)` in fixed
     /// protocol order (`topk`, `topkn`, `link`, `info`, `stats`,
     /// `reload`, `quit`, `shutdown`). A bulk `TOPKN` counts as **one**
@@ -245,14 +262,15 @@ impl MetricsSnapshot {
     pub fn to_stats_block(&self) -> String {
         let mut out = format!(
             "OK STATS uptime_ms={} conns_total={} conns_active={} conns_rejected={} \
-             requests={} errors={} malformed={}",
+             requests={} errors={} malformed={} reload_failed={}",
             self.uptime_ms,
             self.conns_total,
             self.conns_active,
             self.conns_rejected,
             self.requests,
             self.errors,
-            self.malformed
+            self.malformed,
+            self.reload_failed
         );
         for &(name, count) in &self.per_command {
             out.push_str(&format!(" {name}={count}"));

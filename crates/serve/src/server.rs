@@ -296,6 +296,11 @@ fn handle_connection(
     metrics: &ServerMetrics,
     shutdown: &AtomicBool,
 ) {
+    // Deterministic fault seam: a plan targeting `serve.conn` drops the
+    // connection before the greeting, as a crashed handler thread would.
+    if sp_fault::inject(sp_fault::sites::SERVE_CONN).is_err() {
+        return;
+    }
     stream.set_nodelay(true).ok();
     if stream.set_read_timeout(Some(READ_POLL)).is_err()
         || stream
@@ -487,12 +492,17 @@ fn execute(
                     true,
                     ConnAction::Continue,
                 ),
-                Err(e) => (
-                    protocol::err_line(500, &format!("reload failed: {e}")),
-                    None,
-                    false,
-                    ConnAction::Continue,
-                ),
+                Err(e) => {
+                    // The swap never happened: the last-good generation
+                    // keeps serving. Surface the degradation in STATS.
+                    metrics.record_reload_failed();
+                    (
+                        protocol::err_line(500, &format!("reload failed: {e}")),
+                        None,
+                        false,
+                        ConnAction::Continue,
+                    )
+                }
             },
         },
         Request::Quit => ("OK BYE\n".to_string(), None, true, ConnAction::Close),

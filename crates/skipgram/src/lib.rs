@@ -37,4 +37,4 @@ pub use alias::{AliasTable, AliasTableBuilder};
 pub use model::SkipGramModel;
 pub use perturb::PerturbStrategy;
 pub use subgraph::{generate_subgraphs, NegativeSampling, Subgraph, SubgraphGen};
-pub use trainer::{TrainConfig, TrainReport, Trainer};
+pub use trainer::{CheckpointSink, TrainConfig, TrainReport, Trainer, TrainerState};

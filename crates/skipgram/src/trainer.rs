@@ -26,6 +26,8 @@ use sp_graph::{Graph, NodeId};
 use sp_linalg::{vector, DenseMatrix};
 use sp_proximity::EdgeProximity;
 use std::borrow::Cow;
+use std::io;
+use std::path::PathBuf;
 
 /// Hyper-parameters of Algorithm 2. Defaults are the paper's §VI-A
 /// settings (r=128, k=5, B=128, η=0.1, C=2, σ=5, δ=1e-5, ε=3.5,
@@ -86,6 +88,19 @@ pub struct TrainConfig {
     /// index, both modes draw identical subgraphs: the trained model,
     /// report, and privacy spend are byte-identical for any `s`.
     pub subgraph_shard_edges: Option<usize>,
+    /// Crash safety: emit a [`TrainerState`] snapshot to the checkpoint
+    /// sink every this many completed steps (`None` disables). The
+    /// cadence is not part of the run's identity — changing it between
+    /// crash and resume still reproduces the uninterrupted run
+    /// bit-for-bit, because snapshots capture the full loop state at a
+    /// step boundary.
+    pub checkpoint_every: Option<u64>,
+    /// Directory the checkpoint layer (`sp_model::checkpoint`) writes
+    /// `.spc` files into. The trainer itself never touches the
+    /// filesystem; this setting rides along so pipeline layers
+    /// ([`crate::Trainer::train_checkpointed`] callers, the CLI,
+    /// `sp_dynamic`) know where to persist and resume from.
+    pub checkpoint_dir: Option<PathBuf>,
 }
 
 impl Default for TrainConfig {
@@ -105,6 +120,8 @@ impl Default for TrainConfig {
             seed: 0x5EED,
             threads: None,
             subgraph_shard_edges: None,
+            checkpoint_every: None,
+            checkpoint_dir: None,
         }
     }
 }
@@ -133,6 +150,9 @@ impl TrainConfig {
         if self.subgraph_shard_edges == Some(0) {
             return Err("subgraph_shard_edges must be >= 1 when set".into());
         }
+        if self.checkpoint_every == Some(0) {
+            return Err("checkpoint_every must be >= 1 when set".into());
+        }
         if self.strategy.is_private() {
             if self.sigma.is_nan() || self.sigma <= 0.0 {
                 return Err("sigma must be positive for private training".into());
@@ -145,6 +165,53 @@ impl TrainConfig {
             }
         }
         Ok(())
+    }
+
+    /// FNV-1a hash over every parameter that determines the training
+    /// trajectory, plus the graph shape. A checkpoint records this and
+    /// resume refuses a mismatch — replaying a snapshot under a
+    /// different config would silently produce garbage (or, worse,
+    /// mis-account privacy).
+    ///
+    /// Deliberately excluded, because they never change results:
+    /// `threads` (a crash on a 4-core box may resume on 1 core),
+    /// `subgraph_shard_edges` (streamed and materialised modes are
+    /// bit-identical), and the checkpoint cadence/location themselves.
+    pub fn fingerprint(&self, num_nodes: usize, num_edges: usize) -> u64 {
+        let strategy = match self.strategy {
+            PerturbStrategy::None => 0u64,
+            PerturbStrategy::Naive => 1,
+            PerturbStrategy::NonZero => 2,
+        };
+        let sampling = match self.negative_sampling {
+            NegativeSampling::UniformNonNeighbor => 0u64,
+            NegativeSampling::DegreeProportional => 1,
+        };
+        let words = [
+            0x5350_4345_4B50_5431u64, // "SPCEKPT1": format discriminator
+            self.dim as u64,
+            self.negatives as u64,
+            self.batch_size as u64,
+            self.learning_rate.to_bits(),
+            self.clip.to_bits(),
+            self.sigma.to_bits(),
+            self.epsilon.to_bits(),
+            self.delta.to_bits(),
+            self.epochs as u64,
+            strategy,
+            sampling,
+            self.seed,
+            num_nodes as u64,
+            num_edges as u64,
+        ];
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for w in words {
+            for b in w.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        h
     }
 }
 
@@ -164,6 +231,58 @@ pub struct TrainReport {
     /// Mean per-example loss over the final epoch's sampled batches.
     pub final_loss: f64,
 }
+
+/// A bit-exact snapshot of the training loop at a step boundary — the
+/// payload of a `.spc` checkpoint (serialised by `sp_model`).
+///
+/// Everything the loop consumes after a step boundary is either (a)
+/// derived deterministically from the config and the graph (subgraph
+/// base seed, proximity weights, batch schedule *shape*) or (b)
+/// captured here: the counters, the run RNG, the Marsaglia sampler's
+/// cached spare, the loss accumulator, both embedding matrices at full
+/// `f64` precision, and the raw RDP curve. Restoring (b) and replaying
+/// from the boundary therefore reproduces the uninterrupted run
+/// bit-for-bit — including the privacy spend, which is restored (not
+/// recomputed), so ε can never be double-spent across crashes.
+#[derive(Clone, Debug)]
+pub struct TrainerState {
+    /// Binds the snapshot to a (config, graph shape) pair — see
+    /// [`TrainConfig::fingerprint`]. Resume refuses a mismatch.
+    pub fingerprint: u64,
+    /// Batch steps completed.
+    pub steps_run: u64,
+    /// Epochs fully completed.
+    pub epochs_run: u64,
+    /// Steps completed inside the current epoch (the shard cursor of
+    /// an out-of-core walk: step `s` covers sampled edge indices of
+    /// batch `s`).
+    pub step_in_epoch: u64,
+    /// xoshiro256++ state of the run RNG.
+    pub rng: [u64; 4],
+    /// Cached spare deviate of the Gaussian sampler, if present.
+    pub noise_spare: Option<f64>,
+    /// Final-epoch loss accumulator: sum of per-example losses.
+    pub loss_sum: f64,
+    /// Final-epoch loss accumulator: number of examples.
+    pub loss_count: u64,
+    /// Centre embeddings `W_in`, full `f64` precision.
+    pub w_in: DenseMatrix,
+    /// Context embeddings `W_out`, full `f64` precision.
+    pub w_out: DenseMatrix,
+    /// Largest order of the accountant's RDP grid (0 when the run is
+    /// non-private and carries no accountant).
+    pub accountant_orders_max: u64,
+    /// Raw accumulated RDP curve (empty for non-private runs).
+    pub accountant_rdp: Vec<f64>,
+    /// Steps recorded by the accountant.
+    pub accountant_steps: u64,
+}
+
+/// Receives each boundary [`TrainerState`] during
+/// [`Trainer::train_checkpointed`] and persists it; an `Err` aborts
+/// the run (a run that cannot checkpoint must not continue past its
+/// durability guarantee).
+pub type CheckpointSink<'a> = &'a mut dyn FnMut(&TrainerState) -> io::Result<()>;
 
 /// Minimum per-batch work (examples × contexts × dim) before an
 /// *auto-resolved* thread count fans the gradient pass out over the
@@ -204,7 +323,8 @@ impl Trainer {
     /// # Panics
     /// Panics if the graph has no edges (there is nothing to embed).
     pub fn train(&self, g: &Graph, prox: &EdgeProximity) -> (SkipGramModel, TrainReport) {
-        self.train_impl(g, prox, None)
+        self.train_impl(g, prox, None, None, None)
+            .expect("training without a checkpoint sink cannot fail")
     }
 
     /// Trains starting from an existing model (warm start) — the
@@ -231,7 +351,34 @@ impl Trainer {
             self.config.dim,
             "warm-start model dimension mismatch"
         );
-        self.train_impl(g, prox, Some(initial))
+        self.train_impl(g, prox, Some(initial), None, None)
+            .expect("training without a checkpoint sink cannot fail")
+    }
+
+    /// Checkpointed (and optionally resumed) training.
+    ///
+    /// Every [`TrainConfig::checkpoint_every`] completed steps, a
+    /// [`TrainerState`] snapshot is handed to `sink` (which persists it
+    /// — the trainer itself never touches the filesystem). A sink
+    /// error aborts training and is returned: a run that cannot
+    /// checkpoint must not silently continue past its durability
+    /// guarantee. Passing `resume = Some(state)` restores a snapshot
+    /// and continues the run; the final model, report, and privacy
+    /// spend are bit-identical to an uninterrupted run of the same
+    /// config (see [`TrainerState`]).
+    ///
+    /// # Errors
+    /// `InvalidData` when `resume` does not match this config and
+    /// graph; otherwise only errors returned by `sink`.
+    pub fn train_checkpointed(
+        &self,
+        g: &Graph,
+        prox: &EdgeProximity,
+        initial: Option<SkipGramModel>,
+        resume: Option<&TrainerState>,
+        sink: CheckpointSink<'_>,
+    ) -> io::Result<(SkipGramModel, TrainReport)> {
+        self.train_impl(g, prox, initial, resume, Some(sink))
     }
 
     fn train_impl(
@@ -239,7 +386,9 @@ impl Trainer {
         g: &Graph,
         prox: &EdgeProximity,
         initial: Option<SkipGramModel>,
-    ) -> (SkipGramModel, TrainReport) {
+        resume: Option<&TrainerState>,
+        mut sink: Option<CheckpointSink<'_>>,
+    ) -> io::Result<(SkipGramModel, TrainReport)> {
         let cfg = &self.config;
         assert!(g.num_edges() > 0, "cannot train on an edgeless graph");
         assert_eq!(
@@ -311,9 +460,50 @@ impl Trainer {
         let mut stopped_by_budget = false;
         let mut loss_stats = (0.0f64, 0u64);
 
-        'training: for epoch in 0..cfg.epochs {
+        // Resume: the prefix above replayed the same seeded draws as
+        // the original run (subgraph source, fresh init), so the
+        // derived subgraph streams are identical; now overwrite every
+        // piece of live loop state with the snapshot.
+        let fingerprint = cfg.fingerprint(g.num_nodes(), g.num_edges());
+        let mut resume_step = 0usize;
+        if let Some(st) = resume {
+            if st.fingerprint != fingerprint {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "checkpoint fingerprint does not match this config and graph \
+                     (refusing to resume: the trajectory would diverge)",
+                ));
+            }
+            model = SkipGramModel {
+                w_in: st.w_in.clone(),
+                w_out: st.w_out.clone(),
+            };
+            rng = SmallRng::from_state(st.rng);
+            noise = GaussianSampler::from_spare(st.noise_spare);
+            if let Some(acc) = accountant.as_mut() {
+                *acc = BudgetedAccountant::resume(
+                    PrivacyBudget::new(cfg.epsilon, cfg.delta),
+                    gamma,
+                    cfg.sigma,
+                    st.accountant_orders_max,
+                    st.accountant_rdp.clone(),
+                    st.accountant_steps,
+                )
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            }
+            steps_run = st.steps_run;
+            epochs_run = st.epochs_run as usize;
+            loss_stats = (st.loss_sum, st.loss_count);
+            resume_step = st.step_in_epoch as usize;
+        }
+        let start_epoch = epochs_run;
+
+        'training: for epoch in start_epoch..cfg.epochs {
             let final_epoch = epoch + 1 == cfg.epochs;
-            for _ in 0..steps_per_epoch {
+            // First (possibly resumed) epoch starts at the snapshot's
+            // step cursor; all later epochs start at 0.
+            let first_step = std::mem::take(&mut resume_step);
+            for step in first_step..steps_per_epoch {
                 // Lines 8–10: stop when the budget would be exceeded.
                 if let Some(acc) = accountant.as_mut() {
                     if !acc.try_step() {
@@ -361,6 +551,36 @@ impl Trainer {
                 // stream is part of the seeded RNG sequence).
                 self.apply_update(&mut model, &mut state, batch, &mut noise, &mut rng);
                 steps_run += 1;
+                // Checkpoint at the step boundary: the batch
+                // accumulators are zeroed here, so the loop state is
+                // exactly (counters, RNG, noise spare, loss, model,
+                // accountant) — everything TrainerState captures.
+                if let (Some(every), Some(sink)) = (cfg.checkpoint_every, sink.as_mut()) {
+                    if steps_run % every == 0 {
+                        let snapshot = TrainerState {
+                            fingerprint,
+                            steps_run,
+                            epochs_run: epochs_run as u64,
+                            step_in_epoch: (step + 1) as u64,
+                            rng: rng.state(),
+                            noise_spare: noise.spare(),
+                            loss_sum: loss_stats.0,
+                            loss_count: loss_stats.1,
+                            w_in: model.w_in.clone(),
+                            w_out: model.w_out.clone(),
+                            accountant_orders_max: accountant
+                                .as_ref()
+                                .map(|a| a.max_order())
+                                .unwrap_or(0),
+                            accountant_rdp: accountant
+                                .as_ref()
+                                .map(|a| a.rdp_raw().to_vec())
+                                .unwrap_or_default(),
+                            accountant_steps: accountant.as_ref().map(|a| a.steps()).unwrap_or(0),
+                        };
+                        sink(&snapshot)?;
+                    }
+                }
             }
             epochs_run += 1;
         }
@@ -372,7 +592,7 @@ impl Trainer {
         } else {
             f64::NAN
         };
-        (
+        Ok((
             model,
             TrainReport {
                 epochs_run,
@@ -382,7 +602,7 @@ impl Trainer {
                 delta_spent,
                 final_loss,
             },
-        )
+        ))
     }
 
     /// Noise + SGD application for one batch, per the strategy.
@@ -552,6 +772,8 @@ mod tests {
             seed: 99,
             threads: None,
             subgraph_shard_edges: None,
+            checkpoint_every: None,
+            checkpoint_dir: None,
         }
     }
 

@@ -12,6 +12,7 @@ pub use sp_datasets as datasets;
 pub use sp_dp as dp;
 pub use sp_dynamic as dynamic;
 pub use sp_eval as eval;
+pub use sp_fault as fault;
 pub use sp_graph as graph;
 pub use sp_linalg as linalg;
 pub use sp_model as model;

@@ -204,6 +204,8 @@ fn shard_train_config(shard: Option<usize>, threads: usize) -> TrainConfig {
         seed: 0xD5EED,
         threads: Some(threads),
         subgraph_shard_edges: shard,
+        checkpoint_every: None,
+        checkpoint_dir: None,
     }
 }
 

@@ -14,7 +14,9 @@ use se_privgemb_suite::datasets::generators;
 use se_privgemb_suite::datasets::inflate::{gzip_store, InflateError};
 use se_privgemb_suite::datasets::loaders::{load_edge_list_bytes, LoadError};
 use se_privgemb_suite::graph::io::ReadOptions;
+use se_privgemb_suite::model::checkpoint::{checkpoint_from_bytes, checkpoint_to_bytes};
 use se_privgemb_suite::model::{F32Matrix, ModelError, ModelFile, Provenance};
+use se_privgemb_suite::skipgram::trainer::TrainerState;
 use sp_graph::Graph;
 
 fn assert_finite(result: &se_privgemb_suite::core::pipeline::EmbeddingResult, label: &str) {
@@ -349,6 +351,126 @@ fn model_read_from_missing_path_is_io_typed() {
     assert!(matches!(err, ModelError::Io(_)));
     // And every ModelError formats a human-readable message.
     assert!(!err.to_string().is_empty());
+}
+
+// --- checkpoint (.spc) failure injection --------------------------------
+
+/// A realistic serialised checkpoint the tests corrupt: full state with
+/// accountant curve and a pending Marsaglia spare.
+fn checkpoint_bytes() -> Vec<u8> {
+    use se_privgemb_suite::linalg::DenseMatrix;
+    let st = TrainerState {
+        fingerprint: 0x5EED_CAFE_0000_0001,
+        steps_run: 17,
+        epochs_run: 2,
+        step_in_epoch: 3,
+        rng: [9, 8, 7, 6],
+        noise_spare: Some(0.25),
+        loss_sum: -3.5,
+        loss_count: 272,
+        w_in: DenseMatrix::from_vec(4, 3, (0..12).map(|i| i as f64 * 0.25 - 1.0).collect()),
+        w_out: DenseMatrix::from_vec(4, 3, (0..12).map(|i| -(i as f64) * 0.5).collect()),
+        accountant_orders_max: 8,
+        accountant_rdp: vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7],
+        accountant_steps: 17,
+    };
+    checkpoint_to_bytes(&st)
+}
+
+#[test]
+fn spc_truncation_at_every_cut_is_typed_not_a_panic() {
+    let bytes = checkpoint_bytes();
+    for cut in 0..bytes.len() {
+        match checkpoint_from_bytes(&bytes[..cut]) {
+            Err(ModelError::Truncated { expected, found }) => {
+                assert_eq!(found, cut, "cut {cut}: wrong found length reported");
+                assert!(expected > cut, "cut {cut}: expected must exceed found");
+            }
+            other => panic!("cut {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+    assert!(checkpoint_from_bytes(&bytes).is_ok());
+}
+
+#[test]
+fn spc_single_bit_flips_are_always_detected() {
+    // Flip one bit at a sample of positions across header, payload, and
+    // trailer: every flip must surface as a typed error — usually a
+    // checksum mismatch, or a structural error when the flip lands in a
+    // field validated before the CRC. Never Ok, never a panic.
+    let bytes = checkpoint_bytes();
+    for pos in (0..bytes.len()).step_by(7) {
+        for bit in [0u8, 3, 7] {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 1 << bit;
+            assert!(
+                checkpoint_from_bytes(&corrupt).is_err(),
+                "bit {bit} of byte {pos}: corruption not detected"
+            );
+        }
+    }
+}
+
+#[test]
+fn spc_version_skew_is_typed() {
+    let mut bytes = checkpoint_bytes();
+    bytes[4] = 99; // version u16 LE right after the 4-byte magic
+    assert!(matches!(
+        checkpoint_from_bytes(&bytes),
+        Err(ModelError::UnsupportedVersion { found: 99 })
+    ));
+    let mut bytes = checkpoint_bytes();
+    bytes[..4].copy_from_slice(b"SPMB"); // a model file is not a checkpoint
+    assert!(matches!(
+        checkpoint_from_bytes(&bytes),
+        Err(ModelError::BadMagic { found }) if &found == b"SPMB"
+    ));
+}
+
+#[test]
+fn spc_unknown_flags_and_shape_lies_are_typed() {
+    let mut bytes = checkpoint_bytes();
+    bytes[6] |= 0x80; // undefined flag bit
+    assert!(matches!(
+        checkpoint_from_bytes(&bytes),
+        Err(ModelError::Corrupt { .. })
+    ));
+    let mut bytes = checkpoint_bytes();
+    bytes[96] = 0xFF; // declared row count no longer matches payload
+    assert!(matches!(
+        checkpoint_from_bytes(&bytes),
+        Err(ModelError::Corrupt { .. })
+    ));
+}
+
+#[test]
+fn corrupting_newest_spc_leaves_previous_checkpoint_usable() {
+    // Two checkpoints on disk; the newest gets torn. Resume-side
+    // discovery must fall back to the intact predecessor — the
+    // KEEP_CHECKPOINTS=2 retention exists exactly for this.
+    use se_privgemb_suite::model::checkpoint::{
+        checkpoint_file_name, latest_valid_checkpoint, write_checkpoint_atomic,
+    };
+    let dir = std::env::temp_dir().join(format!("spc_fi_fallback_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let older = checkpoint_from_bytes(&checkpoint_bytes()).unwrap();
+    let mut newer = older.clone();
+    newer.steps_run += 5;
+    let older_path = dir.join(checkpoint_file_name(older.steps_run));
+    let newer_path = dir.join(checkpoint_file_name(newer.steps_run));
+    write_checkpoint_atomic(&older_path, &older).unwrap();
+    write_checkpoint_atomic(&newer_path, &newer).unwrap();
+
+    // Simulate a torn write of the newest file (truncate to half).
+    let full = std::fs::read(&newer_path).unwrap();
+    std::fs::write(&newer_path, &full[..full.len() / 2]).unwrap();
+
+    let (found_path, found) = latest_valid_checkpoint(&dir).unwrap().expect("fallback");
+    assert_eq!(found_path, older_path);
+    assert_eq!(found.steps_run, older.steps_run);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -356,6 +356,115 @@ fn reload_swaps_complete_generations_and_rejects_torn_files() {
 }
 
 #[test]
+fn failed_reload_keeps_last_good_generation_and_counts_reload_failed() {
+    let dir = temp_dir("reload_failed");
+    let path = dir.join("model.spm");
+    write_model(&path, 5);
+    let base = EmbeddingStore::open(&path).unwrap();
+    let serving = Arc::new(ServingStore::new(base, None));
+    let config = ServerConfig {
+        model_path: Some(path.clone()),
+        ..ServerConfig::default()
+    };
+    let (addr, handle, join, metrics) = start(config, Arc::clone(&serving));
+
+    let mut client = ServeClient::connect(addr).unwrap();
+    let (version_before, baseline) = client.top_k(0, 5).unwrap();
+    assert_eq!(metrics.snapshot().reload_failed, 0);
+
+    // Tear the file on disk (a non-atomic publisher would do this),
+    // then fail RELOAD twice: the counter must track every failure.
+    let good = ModelFile::read(&path).unwrap().to_bytes();
+    std::fs::write(&path, &good[..good.len() / 3]).unwrap();
+    for expected_failures in 1..=2u64 {
+        match client.reload().unwrap_err() {
+            se_privgemb_suite::serve::ClientError::Server { code, .. } => assert_eq!(code, 500),
+            other => panic!("expected ERR 500 from a torn model file, got {other}"),
+        }
+        assert_eq!(metrics.snapshot().reload_failed, expected_failures);
+    }
+
+    // The last-good generation keeps answering, bit for bit.
+    let (version_after, after) = client.top_k(0, 5).unwrap();
+    assert_eq!(version_after, version_before, "failed reload must not swap");
+    for (a, b) in baseline.iter().zip(after.iter()) {
+        assert_eq!(a.node, b.node, "degraded answer changed neighbours");
+        assert_eq!(
+            a.score.to_bits(),
+            b.score.to_bits(),
+            "degraded answer changed score bits"
+        );
+    }
+
+    // The counter is visible over the wire in STATS, and the request
+    // invariant is untouched: the failed RELOADs are still ordinary
+    // counted requests.
+    let (mut stream, mut reader) = raw_conn(addr);
+    stream.write_all(b"STATS\n").unwrap();
+    let head = read_response_line(&mut reader);
+    assert!(
+        head.contains(" reload_failed=2"),
+        "STATS must expose the failure count: {head:?}"
+    );
+    loop {
+        if read_response_line(&mut reader) == "END" {
+            break;
+        }
+    }
+    assert_stats_invariant(&metrics);
+
+    // A repaired file recovers without a restart.
+    se_privgemb_suite::model::write_bytes_atomic(&path, &good).unwrap();
+    assert!(client.reload().unwrap() > version_before);
+    assert_eq!(
+        metrics.snapshot().reload_failed,
+        2,
+        "success must not count"
+    );
+
+    client.quit().unwrap();
+    handle.shutdown();
+    join.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn connect_with_retry_survives_dropped_connections() {
+    use se_privgemb_suite::fault::retry::RetryPolicy;
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let flaky = std::thread::spawn(move || {
+        // A restarting server: the first two connections die before the
+        // greeting, the third serves a minimal session.
+        for _ in 0..2 {
+            let (stream, _) = listener.accept().unwrap();
+            drop(stream);
+        }
+        let (mut stream, _) = listener.accept().unwrap();
+        stream.write_all(b"SPSERVE 1 READY\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "QUIT");
+        stream.write_all(b"OK BYE\n").unwrap();
+    });
+
+    // A single attempt fails (the greeting read hits EOF/reset — a
+    // transient error), but the bounded deterministic retry reaches the
+    // healthy third connection.
+    let policy = RetryPolicy {
+        attempts: 5,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(20),
+        seed: 7,
+    };
+    let client = ServeClient::connect_with_retry(addr, Duration::from_secs(10), &policy).unwrap();
+    client.quit().unwrap();
+    flaky.join().unwrap();
+}
+
+#[test]
 fn shutdown_drains_and_refuses_new_connections() {
     let serving = Arc::new(ServingStore::new(store(), None));
     let (addr, _handle, join, _metrics) = start(ServerConfig::default(), serving);

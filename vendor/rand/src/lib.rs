@@ -174,6 +174,22 @@ impl Xoshiro256 {
         Self { s }
     }
 
+    pub(crate) fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    pub(crate) fn from_state(s: [u64; 4]) -> Self {
+        // The all-zero state is xoshiro's one fixed point (the stream
+        // would be constant). Seeded generators can never reach it, so
+        // it can only come from a corrupted snapshot — fall back to a
+        // seeded state rather than produce a degenerate stream.
+        if s == [0; 4] {
+            Self::from_u64(0)
+        } else {
+            Self { s }
+        }
+    }
+
     #[inline]
     pub(crate) fn next(&mut self) -> u64 {
         let out = self.s[0]

@@ -31,3 +31,19 @@ macro_rules! impl_rng {
 }
 impl_rng!(StdRng);
 impl_rng!(SmallRng);
+
+impl SmallRng {
+    /// The raw xoshiro256++ state words.
+    ///
+    /// Workspace extension (not in upstream rand 0.8): the checkpoint
+    /// layer snapshots the training RNG here so a resumed run replays
+    /// the exact random stream of the uninterrupted one.
+    pub fn state(&self) -> [u64; 4] {
+        self.0.state()
+    }
+
+    /// Rebuilds a generator from [`SmallRng::state`] output, bit-exact.
+    pub fn from_state(state: [u64; 4]) -> Self {
+        Self(Xoshiro256::from_state(state))
+    }
+}
